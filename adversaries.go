@@ -1,0 +1,113 @@
+package popstab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"popstab/internal/adversary"
+)
+
+// Adversary strategy constructors, re-exported from the internal library.
+// Every strategy observes the full memory of every agent (the model's
+// full-information adversary) and is budget-limited by Config.K and
+// Config.PerEpochBudget.
+
+// NoAdversary returns the absent adversary.
+func NoAdversary() Adversary { return adversary.None{} }
+
+// NewRandomDeleter deletes arbitrary agents.
+func NewRandomDeleter() Adversary { return adversary.NewRandomDeleter() }
+
+// NewLeaderKiller deletes activated agents — early in an epoch these are the
+// cluster roots, so each deletion prunes up to √N prospective recruits.
+func NewLeaderKiller() Adversary { return adversary.NewLeaderKiller() }
+
+// NewColorDeleter deletes active agents of one color, skewing the color
+// distribution (the attack from the paper's footnote 9).
+func NewColorDeleter(color uint8) Adversary { return adversary.NewColorDeleter(color) }
+
+// NewBenignInserter inserts inactive agents with the correct round counter.
+func NewBenignInserter() Adversary { return adversary.NewBenignInserter() }
+
+// NewWrongRoundInserter inserts agents whose round counter is offset from
+// the majority's — the desynchronization attack addressed by Lemma 3.
+func NewWrongRoundInserter(offset int) Adversary { return adversary.NewWrongRoundInserter(offset) }
+
+// NewEvalFlooder inserts agents that believe they are in the evaluation
+// round; each dies at first contact and takes one correct agent along
+// (a deletion amplifier).
+func NewEvalFlooder() Adversary { return adversary.NewEvalFlooder() }
+
+// NewFakeLeaderInserter inserts recruiting cluster roots of a fixed color.
+func NewFakeLeaderInserter(color uint8) Adversary { return adversary.NewFakeLeaderInserter(color) }
+
+// NewSingletonInserter inserts colored singleton "clusters" that dilute the
+// color correlation, biasing the variance signal toward "population too
+// large".
+func NewSingletonInserter() Adversary { return adversary.NewSingletonInserter() }
+
+// NewColorSkewer combines deletion and insertion to push the color
+// distribution in one direction (up = inflate the population).
+func NewColorSkewer(up bool) Adversary { return adversary.NewColorSkewer(up) }
+
+// NewGreedy adaptively pushes the population away from the target with the
+// strongest sub-strategy for the current state.
+func NewGreedy() Adversary { return adversary.NewGreedy() }
+
+// NewTrauma deletes at full budget during [startRound, startRound+rounds):
+// the acute-injury scenario from the paper's biological motivation.
+func NewTrauma(startRound, rounds uint64) Adversary { return adversary.NewTrauma(startRound, rounds) }
+
+// NewComposite runs several strategies in order against a shared budget.
+func NewComposite(label string, parts ...Adversary) Adversary {
+	return adversary.NewComposite(label, parts...)
+}
+
+// NewAlternator switches between two strategies every period rounds (0 = one
+// epoch).
+func NewAlternator(period int, a, b Adversary) Adversary {
+	return &adversary.Alternator{Period: period, A: a, B: b}
+}
+
+// adversaryFactories maps CLI names to constructors (p is available for
+// strategies that need protocol geometry).
+func adversaryFactories() map[string]func(p Params) Adversary {
+	return map[string]func(p Params) Adversary{
+		"none":             func(Params) Adversary { return NoAdversary() },
+		"delete-random":    func(Params) Adversary { return NewRandomDeleter() },
+		"delete-active":    func(Params) Adversary { return NewLeaderKiller() },
+		"delete-color0":    func(Params) Adversary { return NewColorDeleter(0) },
+		"delete-color1":    func(Params) Adversary { return NewColorDeleter(1) },
+		"insert-benign":    func(Params) Adversary { return NewBenignInserter() },
+		"insert-leader0":   func(Params) Adversary { return NewFakeLeaderInserter(0) },
+		"insert-leader1":   func(Params) Adversary { return NewFakeLeaderInserter(1) },
+		"insert-singleton": func(Params) Adversary { return NewSingletonInserter() },
+		"insert-eval":      func(Params) Adversary { return NewEvalFlooder() },
+		"insert-offset":    func(p Params) Adversary { return NewWrongRoundInserter(p.T / 2) },
+		"skew-up":          func(Params) Adversary { return NewColorSkewer(true) },
+		"skew-down":        func(Params) Adversary { return NewColorSkewer(false) },
+		"greedy":           func(Params) Adversary { return NewGreedy() },
+	}
+}
+
+// AdversaryNames lists the strategy names accepted by NewAdversaryByName,
+// sorted.
+func AdversaryNames() []string {
+	m := adversaryFactories()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewAdversaryByName constructs a strategy from its CLI name.
+func NewAdversaryByName(name string, p Params) (Adversary, error) {
+	if f, ok := adversaryFactories()[name]; ok {
+		return f(p), nil
+	}
+	return nil, fmt.Errorf("popstab: unknown adversary %q (available: %s)",
+		name, strings.Join(AdversaryNames(), ", "))
+}

@@ -1,0 +1,122 @@
+// Benchmarks regenerating every experiment row of the reproduction suite
+// (one Benchmark per table in DESIGN.md §4 / EXPERIMENTS.md) plus simulator
+// throughput benchmarks.
+//
+// Experiment benches run at Quick scale; each iteration executes the whole
+// experiment and reports reproduced=1 on success. Regenerate the full-scale
+// tables with: go run ./cmd/popbench -scale full
+package popstab_test
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"popstab"
+)
+
+// benchExperiment runs one suite experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := popstab.RunExperiment(id, popstab.ExperimentConfig{
+			Scale:   popstab.ScaleQuick,
+			Seed:    uint64(7 + i),
+			Workers: runtime.NumCPU(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok := 0.0
+		if strings.HasPrefix(res.Verdict, "REPRODUCED") {
+			ok = 1
+		}
+		b.ReportMetric(ok, "reproduced")
+	}
+}
+
+// One benchmark per experiment row (E-series: paper claims).
+
+func BenchmarkE1MainTheorem(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2WrongRound(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3ActiveFraction(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4Recruitment(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5ColorBalance(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE6EpochDeviation(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7RestoringDrift(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8Recovery(b *testing.B)        { benchExperiment(b, "E8") }
+func BenchmarkE9Attempt1Fails(b *testing.B)   { benchExperiment(b, "E9") }
+func BenchmarkE10Attempt2Walk(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11StrategySweep(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12KScaling(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13Resources(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14GammaSweep(b *testing.B)     { benchExperiment(b, "E14") }
+func BenchmarkE15HighMemory(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16Equilibrium(b *testing.B)    { benchExperiment(b, "E16") }
+func BenchmarkE17RogueExtension(b *testing.B) { benchExperiment(b, "E17") }
+
+// Ablation benches (A-series: design choices).
+
+func BenchmarkA1NoRoundCheck(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2ShortSubphase(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkA3AdversaryTiming(b *testing.B) { benchExperiment(b, "A3") }
+func BenchmarkA4Schedulers(b *testing.B)      { benchExperiment(b, "A4") }
+func BenchmarkA5Geometric(b *testing.B)       { benchExperiment(b, "A5") }
+func BenchmarkA6ClockDrift(b *testing.B)      { benchExperiment(b, "A6") }
+
+// Simulator throughput: rounds and agent-steps per second across N.
+
+func benchRounds(b *testing.B, n int) {
+	b.Helper()
+	sim, err := popstab.New(popstab.Config{N: n, Tinner: 2 * logOf(n), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		sim.RunRound()
+		steps += sim.Size()
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "agents/round")
+}
+
+func BenchmarkRoundN4096(b *testing.B)  { benchRounds(b, 4096) }
+func BenchmarkRoundN16384(b *testing.B) { benchRounds(b, 16384) }
+func BenchmarkRoundN65536(b *testing.B) { benchRounds(b, 65536) }
+
+// BenchmarkEpochN4096 measures one full protocol epoch.
+func BenchmarkEpochN4096(b *testing.B) {
+	sim, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunEpoch()
+	}
+}
+
+// BenchmarkAdversarialRoundN4096 measures a round including the adversary
+// turn (view construction + budget accounting).
+func BenchmarkAdversarialRoundN4096(b *testing.B) {
+	sim, err := popstab.New(popstab.Config{
+		N: 4096, Tinner: 24, Seed: 1,
+		Adversary: popstab.NewGreedy(), K: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunRound()
+	}
+}
+
+func logOf(n int) int {
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return lg
+}

@@ -1,0 +1,131 @@
+// Command popattack explores the adversary strategy space: it runs every
+// strategy across a grid of per-epoch budgets and prints the worst
+// population displacement each achieves — a quick map of where the
+// protocol's tolerance ends.
+//
+// Example:
+//
+//	popattack -n 4096 -epochs 20 -budgets 0,8,32,128,512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"popstab"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popattack", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 4096, "population target N")
+		tinner     = fs.Int("tinner", 24, "recruitment subphase length (0 = paper default)")
+		epochs     = fs.Int("epochs", 20, "epochs per cell")
+		seed       = fs.Uint64("seed", 1, "PRNG seed")
+		budgetList = fs.String("budgets", "", "comma-separated per-epoch budgets (empty = 0,1x,4x,16x of N^(1/4))")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	probe, err := popstab.New(popstab.Config{N: *n, Tinner: *tinner, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	params := probe.Params()
+	base := params.MaxTolerableK()
+
+	var budgets []int
+	if *budgetList == "" {
+		budgets = []int{0, base, 4 * base, 16 * base}
+	} else {
+		for _, tok := range strings.Split(*budgetList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad budget %q: %w", tok, err)
+			}
+			budgets = append(budgets, v)
+		}
+	}
+
+	fmt.Printf("# %s  (N^(1/4) = %d)\n", params, base)
+	fmt.Printf("# cells: worst |m−N|/N over %d epochs; '!' marks an interval violation\n\n", *epochs)
+	fmt.Printf("%-18s", "strategy\\budget")
+	for _, b := range budgets {
+		fmt.Printf("  %10d", b)
+	}
+	fmt.Println()
+
+	for _, name := range popstab.AdversaryNames() {
+		if name == "none" {
+			continue
+		}
+		fmt.Printf("%-18s", name)
+		for _, b := range budgets {
+			dev, violated, err := runCell(*n, *tinner, *seed, *epochs, name, b)
+			if err != nil {
+				return err
+			}
+			mark := " "
+			if violated {
+				mark = "!"
+			}
+			fmt.Printf("  %9.4f%s", dev, mark)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runCell measures the worst relative displacement for one strategy/budget.
+func runCell(n, tinner int, seed uint64, epochs int, name string, budget int) (float64, bool, error) {
+	cfg := popstab.Config{N: n, Tinner: tinner, Seed: seed}
+	probe, err := popstab.New(cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	params := probe.Params()
+	if budget > 0 {
+		adv, err := popstab.NewAdversaryByName(name, params)
+		if err != nil {
+			return 0, false, err
+		}
+		cfg.Adversary = adv
+		cfg.K = 1
+		cfg.PerEpochBudget = budget
+	}
+	s, err := popstab.New(cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	lo := int(float64(params.N) * (1 - params.Alpha))
+	hi := int(float64(params.N) * (1 + params.Alpha))
+	worst := 0.0
+	violated := false
+	for i := 0; i < epochs; i++ {
+		rep := s.RunEpoch()
+		for _, v := range []int{rep.MinSize, rep.MaxSize} {
+			d := float64(v-params.N) / float64(params.N)
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if rep.MinSize < lo || rep.MaxSize > hi {
+			violated = true
+		}
+	}
+	return worst, violated, nil
+}

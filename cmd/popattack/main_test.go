@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunCell(t *testing.T) {
+	dev, violated, err := runCell(4096, 24, 1, 2, "delete-random", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev < 0 || dev > 1 {
+		t.Errorf("deviation %v out of range", dev)
+	}
+	if violated {
+		t.Error("tiny budget violated the interval")
+	}
+}
+
+func TestRunCellZeroBudget(t *testing.T) {
+	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCellBadStrategy(t *testing.T) {
+	if _, _, err := runCell(4096, 24, 1, 1, "bogus", 8); err == nil {
+		t.Error("accepted unknown strategy")
+	}
+}
+
+func TestRunSmallGrid(t *testing.T) {
+	if err := run([]string{"-n", "4096", "-tinner", "24", "-epochs", "1", "-budgets", "0,4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadBudgets(t *testing.T) {
+	if err := run([]string{"-budgets", "x"}); err == nil {
+		t.Error("accepted non-numeric budget")
+	}
+}

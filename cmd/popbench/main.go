@@ -1,0 +1,145 @@
+// Command popbench runs the reproduction experiment suite (E1–E16, A1–A4)
+// and prints the regenerated tables — the rows recorded in EXPERIMENTS.md.
+//
+// Examples:
+//
+//	popbench -list
+//	popbench -scale quick
+//	popbench -scale full -run E1,E7,E12
+//	popbench -scale full -markdown > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"popstab"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popbench", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "quick", "experiment scale: quick|full")
+		runIDs    = fs.String("run", "", "comma-separated experiment IDs (empty = all)")
+		seed      = fs.Uint64("seed", 7, "suite PRNG seed")
+		workers   = fs.Int("workers", runtime.NumCPU(), "trial-level parallelism")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		markdown  = fs.Bool("markdown", false, "emit results as markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range popstab.ExperimentIDs() {
+			title, claim, err := popstab.ExperimentInfo(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-4s %s\n     %s\n", id, title, claim)
+		}
+		return nil
+	}
+
+	var scale popstab.ExperimentConfig
+	switch *scaleName {
+	case "quick":
+		scale = popstab.ExperimentConfig{Scale: popstab.ScaleQuick}
+	case "full":
+		scale = popstab.ExperimentConfig{Scale: popstab.ScaleFull}
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	scale.Seed = *seed
+	scale.Workers = *workers
+
+	ids := popstab.ExperimentIDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	type summaryRow struct {
+		id, title, status string
+		elapsed           time.Duration
+	}
+	var summary []summaryRow
+	failures := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := popstab.RunExperiment(id, scale)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *markdown {
+			printMarkdown(res, elapsed)
+		} else {
+			fmt.Println(res.Render())
+			fmt.Printf("(%s in %s at scale %s)\n\n", res.ID, elapsed, *scaleName)
+		}
+		status := "reproduced"
+		if !strings.HasPrefix(res.Verdict, "REPRODUCED") {
+			failures++
+			status = "DEVIATION"
+		}
+		summary = append(summary, summaryRow{res.ID, res.Title, status, elapsed})
+	}
+	if len(summary) > 1 {
+		if *markdown {
+			fmt.Println("### Suite summary")
+			fmt.Println()
+			fmt.Println("| experiment | status | time |")
+			fmt.Println("| --- | --- | --- |")
+			for _, r := range summary {
+				fmt.Printf("| %s — %s | %s | %s |\n", r.id, r.title, r.status, r.elapsed)
+			}
+			fmt.Println()
+		} else {
+			fmt.Println("=== suite summary ===")
+			for _, r := range summary {
+				fmt.Printf("%-4s %-10s %10s  %s\n", r.id, r.status, r.elapsed, r.title)
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) did not reproduce", failures)
+	}
+	return nil
+}
+
+// printMarkdown renders a result as a markdown section with pipe tables.
+func printMarkdown(res *popstab.ExperimentResult, elapsed time.Duration) {
+	fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
+	fmt.Printf("**Claim.** %s\n\n", res.Claim)
+	fmt.Printf("**Verdict.** %s *(ran in %s)*\n\n", res.Verdict, elapsed)
+	for _, t := range res.Tables {
+		if t.Title != "" {
+			fmt.Printf("*%s*\n\n", t.Title)
+		}
+		fmt.Printf("| %s |\n", strings.Join(t.Cols, " | "))
+		seps := make([]string, len(t.Cols))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Printf("| %s |\n", strings.Join(seps, " | "))
+		for _, row := range t.Rows {
+			fmt.Printf("| %s |\n", strings.Join(row, " | "))
+		}
+		fmt.Println()
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("> %s\n\n", n)
+	}
+}

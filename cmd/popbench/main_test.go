@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// E13 is the cheapest experiment in the suite.
+	if err := run([]string{"-scale", "quick", "-run", "E13"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-scale", "quick", "-run", "E13", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Error("accepted unknown scale")
+	}
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Error("accepted unknown experiment")
+	}
+}

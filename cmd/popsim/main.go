@@ -1,0 +1,143 @@
+// Command popsim runs a single population stability simulation and prints a
+// per-epoch summary (optionally a CSV trace for plotting).
+//
+// Examples:
+//
+//	popsim -n 4096 -epochs 20
+//	popsim -n 16384 -adv greedy -budget 16 -epochs 40
+//	popsim -n 4096 -protocol attempt2 -epochs 10 -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popstab"
+	"popstab/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popsim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 4096, "population target N (power of four, >= 4096)")
+		tinner   = fs.Int("tinner", 0, "recruitment subphase length (0 = paper default log^2 N)")
+		gamma    = fs.Float64("gamma", 0, "matched fraction per round (0 = 0.25)")
+		alpha    = fs.Float64("alpha", 0, "interval half-width (0 = 0.5)")
+		epochs   = fs.Int("epochs", 20, "number of epochs to run")
+		seed     = fs.Uint64("seed", 1, "PRNG seed")
+		proto    = fs.String("protocol", "paper", "protocol: paper|attempt1|attempt2|empty")
+		advName  = fs.String("adv", "none", "adversary strategy (see -list-adv)")
+		budget   = fs.Int("budget", 0, "adversary alterations per epoch (0 = N^(1/4))")
+		k        = fs.Int("k", 1, "adversary per-round cap K")
+		bits     = fs.Int("bits", 3, "message codec width: 3 or 4")
+		csvPath  = fs.String("csv", "", "write a per-epoch CSV trace to this file")
+		listAdv  = fs.Bool("list-adv", false, "list adversary strategies and exit")
+		quietRun = fs.Bool("q", false, "suppress the per-epoch table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listAdv {
+		for _, name := range popstab.AdversaryNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	kind, err := popstab.ProtocolKindFromString(*proto)
+	if err != nil {
+		return err
+	}
+	cfg := popstab.Config{
+		N:           *n,
+		Tinner:      *tinner,
+		Gamma:       *gamma,
+		Alpha:       *alpha,
+		Protocol:    kind,
+		MessageBits: *bits,
+		Seed:        *seed,
+	}
+	// Derive params first so adversaries can use the geometry.
+	probe, err := popstab.New(cfg)
+	if err != nil {
+		return err
+	}
+	params := probe.Params()
+	if *advName != "none" {
+		adv, err := popstab.NewAdversaryByName(*advName, params)
+		if err != nil {
+			return err
+		}
+		cfg.Adversary = adv
+		cfg.K = *k
+		cfg.PerEpochBudget = *budget
+		if cfg.PerEpochBudget == 0 {
+			cfg.PerEpochBudget = params.MaxTolerableK()
+		}
+	}
+	s, err := popstab.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# %s protocol=%s adversary=%s budget=%s seed=%d\n",
+		params, kind, *advName, budgetString(cfg.PerEpochBudget), *seed)
+
+	rec := trace.NewRecorder()
+	if !*quietRun {
+		fmt.Printf("%6s  %7s  %7s  %7s  %7s  %6s  %6s  %6s  %6s\n",
+			"epoch", "start", "end", "min", "max", "births", "deaths", "advIns", "advDel")
+	}
+	for i := 0; i < *epochs; i++ {
+		rep := s.RunEpoch()
+		rec.Record("population", float64(rep.Epoch), float64(rep.EndSize))
+		rec.Record("births", float64(rep.Epoch), float64(rep.Births))
+		rec.Record("deaths", float64(rep.Epoch), float64(rep.Deaths))
+		if !*quietRun {
+			fmt.Printf("%6d  %7d  %7d  %7d  %7d  %6d  %6d  %6d  %6d\n",
+				rep.Epoch, rep.StartSize, rep.EndSize, rep.MinSize, rep.MaxSize,
+				rep.Births, rep.Deaths, rep.AdvInserted, rep.AdvDeleted)
+		}
+	}
+
+	in := "INSIDE"
+	if !s.InInterval() {
+		in = "OUTSIDE"
+	}
+	fmt.Printf("# final population %d — %s [(1−α)N, (1+α)N] = [%d, %d]\n",
+		s.Size(),
+		in,
+		int(float64(params.N)*(1-params.Alpha)),
+		int(float64(params.N)*(1+params.Alpha)))
+	if c := s.Counters(); c != nil {
+		fmt.Printf("# protocol counters: %s\n", c)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func budgetString(b int) string {
+	if b == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%d/epoch", b)
+}

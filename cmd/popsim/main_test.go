@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunMinimal(t *testing.T) {
+	err := run([]string{"-n", "4096", "-tinner", "24", "-epochs", "1", "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAdversaryAndCSV(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "trace.csv")
+	err := run([]string{"-n", "4096", "-tinner", "24", "-epochs", "1", "-q",
+		"-adv", "greedy", "-budget", "4", "-csv", csv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV trace")
+	}
+}
+
+func TestRunBaselineProtocol(t *testing.T) {
+	if err := run([]string{"-n", "4096", "-tinner", "24", "-epochs", "1", "-q",
+		"-protocol", "attempt2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunListAdversaries(t *testing.T) {
+	if err := run([]string{"-list-adv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-n", "1000"},               // invalid N
+		{"-adv", "bogus"},            // unknown adversary
+		{"-protocol", "bogus"},       // unknown protocol
+		{"-n", "4096", "-bits", "7"}, // unsupported codec
+		{"-gamma", "3"},              // invalid gamma
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

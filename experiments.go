@@ -1,0 +1,56 @@
+package popstab
+
+import (
+	"fmt"
+
+	"popstab/internal/experiment"
+)
+
+// Experiment re-exports for the reproduction suite (DESIGN.md §4,
+// EXPERIMENTS.md).
+type (
+	// ExperimentResult is the rendered outcome of one experiment.
+	ExperimentResult = experiment.Result
+	// ExperimentConfig parameterizes a suite run.
+	ExperimentConfig = experiment.Config
+)
+
+// Experiment scales.
+const (
+	// ScaleQuick runs each experiment in seconds (tests, benches).
+	ScaleQuick = experiment.Quick
+	// ScaleFull regenerates EXPERIMENTS.md (minutes).
+	ScaleFull = experiment.Full
+)
+
+// ExperimentIDs lists the suite's experiment identifiers in order.
+func ExperimentIDs() []string {
+	all := experiment.All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ExperimentInfo describes one experiment without running it.
+func ExperimentInfo(id string) (title, claim string, err error) {
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		return "", "", fmt.Errorf("popstab: unknown experiment %q", id)
+	}
+	return e.Title, e.Claim, nil
+}
+
+// RunExperiment executes one experiment of the reproduction suite.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("popstab: unknown experiment %q", id)
+	}
+	res, err := e.Execute(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("popstab: %w", err)
+	}
+	return res, nil
+}

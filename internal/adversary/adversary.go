@@ -1,0 +1,162 @@
+// Package adversary defines the worst-case adversary of the population
+// stability model (paper §2, "Adversary") and a library of attack
+// strategies.
+//
+// The adversary is computationally unbounded, observes the memory contents
+// of every agent, and may perform up to K alterations per round, where an
+// alteration inserts an agent with arbitrary initial state or deletes an
+// arbitrary agent. Inserted agents follow the protocol from their inserted
+// state (the model explicitly excludes agents running malicious code). The
+// adversary does not know the current round's matching in advance: the
+// engine invokes it before sampling the matching.
+//
+// Strategies receive a read-only View of the population and a budget-
+// enforcing Mutator. All state inspection the paper permits is available;
+// strategies must not retain the View past the Act call.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+
+	"popstab/internal/agent"
+	"popstab/internal/params"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// View is the adversary's read access to the system: the full memory of
+// every agent plus the global clock, per the model.
+type View interface {
+	// Len reports the current population size.
+	Len() int
+	// State returns a copy of agent i's full memory.
+	State(i int) agent.State
+	// Census returns an aggregate snapshot (computed on demand).
+	Census() population.Census
+	// GlobalRound reports the number of completed rounds since the system
+	// started.
+	GlobalRound() uint64
+	// EpochRound reports GlobalRound modulo the epoch length T: the round
+	// counter a correct agent holds right now.
+	EpochRound() int
+	// Params exposes the protocol parameters (public knowledge).
+	Params() params.Params
+	// Find appends to dst the indices of up to limit agents satisfying
+	// pred, in container order, returning the extended slice. limit < 0
+	// means unlimited.
+	Find(dst []int, limit int, pred func(agent.State) bool) []int
+}
+
+// Mutator is the adversary's write access, with the per-round budget K
+// enforced. Every successful Delete or Insert consumes one unit.
+type Mutator interface {
+	// Delete marks agent i for removal at the end of the adversary's turn.
+	// It reports false (consuming nothing) if the budget is exhausted, the
+	// index is out of range, or the agent was already marked.
+	Delete(i int) bool
+	// Insert adds an agent with the given initial state at the end of the
+	// adversary's turn. The round counter is reduced modulo T, as the
+	// physical register would store it. Reports false if the budget is
+	// exhausted.
+	Insert(s agent.State) bool
+	// Remaining reports the unused budget for this round.
+	Remaining() int
+}
+
+// Adversary is one attack strategy.
+type Adversary interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Act performs this round's alterations. src is the adversary's private
+	// randomness stream (a worst-case adversary may ignore it).
+	Act(v View, m Mutator, src *prng.Source)
+}
+
+// None is the absent adversary.
+type None struct{}
+
+var _ Adversary = None{}
+
+// Name reports "none".
+func (None) Name() string { return "none" }
+
+// Act does nothing.
+func (None) Act(View, Mutator, *prng.Source) {}
+
+// Budget tracks and enforces the per-round alteration budget K shared by
+// insertions and deletions. The engine owns one Budget per adversary turn;
+// it implements Mutator over staged operations so that index semantics are
+// stable while the adversary is still reading the View.
+type Budget struct {
+	k         int
+	used      int
+	deletions map[int]struct{}
+	inserts   []agent.State
+	epochLen  int
+	popLen    int
+}
+
+var _ Mutator = (*Budget)(nil)
+
+// NewBudget prepares a budget of k alterations against a population of
+// popLen agents with epoch length epochLen.
+func NewBudget(k, popLen, epochLen int) *Budget {
+	return &Budget{
+		k:         k,
+		deletions: make(map[int]struct{}, k),
+		epochLen:  epochLen,
+		popLen:    popLen,
+	}
+}
+
+// Delete implements Mutator.
+func (b *Budget) Delete(i int) bool {
+	if b.used >= b.k || i < 0 || i >= b.popLen {
+		return false
+	}
+	if _, dup := b.deletions[i]; dup {
+		return false
+	}
+	b.deletions[i] = struct{}{}
+	b.used++
+	return true
+}
+
+// Insert implements Mutator.
+func (b *Budget) Insert(s agent.State) bool {
+	if b.used >= b.k {
+		return false
+	}
+	if b.epochLen > 0 && int(s.Round) >= b.epochLen {
+		s.Round %= uint32(b.epochLen)
+	}
+	b.inserts = append(b.inserts, s)
+	b.used++
+	return true
+}
+
+// Remaining implements Mutator.
+func (b *Budget) Remaining() int { return b.k - b.used }
+
+// Used reports the number of alterations consumed.
+func (b *Budget) Used() int { return b.used }
+
+// Deletions returns the staged deletion indices in strictly descending
+// order, ready for population.DeleteDescending.
+func (b *Budget) Deletions() []int {
+	out := make([]int, 0, len(b.deletions))
+	for i := range b.deletions {
+		out = append(out, i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Inserts returns the staged insertions.
+func (b *Budget) Inserts() []agent.State { return b.inserts }
+
+// String summarizes the staged operations.
+func (b *Budget) String() string {
+	return fmt.Sprintf("budget %d/%d (del=%d ins=%d)", b.used, b.k, len(b.deletions), len(b.inserts))
+}

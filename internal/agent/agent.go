@@ -1,0 +1,115 @@
+// Package agent defines the state carried by a single agent of the
+// population stability protocol and the primitive operations on it.
+//
+// Per the paper (§3), an agent's state consists of a round counter in [0, T)
+// and four boolean values: active, color, recruiting, inEvalPhase. The
+// variable inEvalPhase is derived (round = T−1) and is not stored. The
+// bookkeeping variable toRecruit ∈ [0, ½log N] is carried for analysis and
+// invariant checking but, exactly as in the paper, the protocol never
+// branches on it.
+//
+// The total state space is T · 2³ · (½log N + 1) plus the transient coin
+// counter of Algorithm 4, i.e. Θ(T · log N) = ω(log² N) states for
+// Tinner = ω(log N), matching Theorem 2's accounting. See the E13 resource
+// audit in internal/experiment.
+package agent
+
+import (
+	"fmt"
+
+	"popstab/internal/wire"
+)
+
+// Color values. Colors live in {0,1}; ColorNone is a documentation alias for
+// the zero value carried by uncolored (inactive) agents.
+const (
+	ColorNone uint8 = 0
+)
+
+// State is the full memory of one agent. It is a small value type; the
+// population stores states contiguously and copies them freely.
+type State struct {
+	// Round is the agent's belief of the current round within the epoch,
+	// in [0, T). Adversarially inserted agents may carry any value.
+	Round uint32
+	// Active reports whether the agent has been activated (leader or
+	// recruited) in the current epoch.
+	Active bool
+	// Color is the agent's cluster color, meaningful only while Active.
+	Color uint8
+	// Recruiting reports whether the agent still seeks to recruit one
+	// inactive agent in the current subphase.
+	Recruiting bool
+	// ToRecruit is the analysis-only counter of Algorithm 5: the number of
+	// direct recruitments this agent remains responsible for. The protocol
+	// never reads it; tests assert Lemma 5 with it.
+	ToRecruit int8
+}
+
+// InEvalPhase reports whether the agent believes it is in the evaluation
+// round, i.e. Round = T−1 (Algorithm 2).
+func (s State) InEvalPhase(epochLen int) bool {
+	return int(s.Round) == epochLen-1
+}
+
+// Message composes the outgoing message for the current round per
+// Algorithm 2: (inEvalPhase, active, color, recruiting).
+func (s State) Message(epochLen int) wire.Message {
+	return wire.Message{
+		InEvalPhase: s.InEvalPhase(epochLen),
+		Active:      s.Active,
+		Color:       s.Color,
+		Recruiting:  s.Recruiting,
+	}
+}
+
+// ResetEpochState clears the coloring state at the end of the evaluation
+// phase (Algorithm 6 lines 12–14).
+func (s *State) ResetEpochState() {
+	s.Active = false
+	s.Color = ColorNone
+	s.Recruiting = false
+	s.ToRecruit = 0
+}
+
+// AdvanceRound increments the round counter modulo the epoch length
+// (Algorithm 1 lines 6, 9, 12).
+func (s *State) AdvanceRound(epochLen int) {
+	s.Round++
+	if int(s.Round) >= epochLen {
+		s.Round = 0
+	}
+}
+
+// Validate reports whether the state is one a protocol-following agent can
+// reach: round in range, color binary, recruiting only while active, and
+// toRecruit within [0, maxDepth]. Adversarially inserted agents may violate
+// any of these; the protocol must cope, and the population container uses
+// Validate only for accounting.
+func (s State) Validate(epochLen, maxDepth int) error {
+	switch {
+	case int(s.Round) >= epochLen:
+		return fmt.Errorf("agent: round %d out of range [0,%d)", s.Round, epochLen)
+	case s.Color > 1:
+		return fmt.Errorf("agent: color %d not binary", s.Color)
+	case s.Recruiting && !s.Active:
+		return fmt.Errorf("agent: recruiting while inactive")
+	case s.ToRecruit < 0 || int(s.ToRecruit) > maxDepth:
+		return fmt.Errorf("agent: toRecruit %d out of range [0,%d]", s.ToRecruit, maxDepth)
+	case !s.Active && s.Color != ColorNone:
+		return fmt.Errorf("agent: inactive agent carries color %d", s.Color)
+	}
+	return nil
+}
+
+// String renders the state compactly for debugging.
+func (s State) String() string {
+	flag := func(b bool, r byte) byte {
+		if b {
+			return r
+		}
+		return '-'
+	}
+	return fmt.Sprintf("r%d %c%c%c d%d",
+		s.Round, flag(s.Active, 'A'), '0'+s.Color, flag(s.Recruiting, 'R'), s.ToRecruit)
+}

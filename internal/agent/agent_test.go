@@ -1,0 +1,129 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"popstab/internal/wire"
+)
+
+const testEpochLen = 144
+
+func TestInEvalPhase(t *testing.T) {
+	var s State
+	for r := 0; r < testEpochLen; r++ {
+		s.Round = uint32(r)
+		want := r == testEpochLen-1
+		if got := s.InEvalPhase(testEpochLen); got != want {
+			t.Errorf("round %d: InEvalPhase = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestMessageComposition(t *testing.T) {
+	s := State{Round: testEpochLen - 1, Active: true, Color: 1, Recruiting: false}
+	got := s.Message(testEpochLen)
+	want := wire.Message{InEvalPhase: true, Active: true, Color: 1}
+	if got != want {
+		t.Errorf("Message = %+v, want %+v", got, want)
+	}
+
+	s = State{Round: 5, Active: true, Color: 0, Recruiting: true}
+	got = s.Message(testEpochLen)
+	want = wire.Message{Active: true, Color: 0, Recruiting: true}
+	if got != want {
+		t.Errorf("Message = %+v, want %+v", got, want)
+	}
+}
+
+func TestResetEpochState(t *testing.T) {
+	s := State{Round: 7, Active: true, Color: 1, Recruiting: true, ToRecruit: 3}
+	s.ResetEpochState()
+	if s.Active || s.Color != ColorNone || s.Recruiting || s.ToRecruit != 0 {
+		t.Errorf("ResetEpochState left %+v", s)
+	}
+	if s.Round != 7 {
+		t.Errorf("ResetEpochState must not touch Round, got %d", s.Round)
+	}
+}
+
+func TestAdvanceRoundWraps(t *testing.T) {
+	var s State
+	for i := 0; i < 3*testEpochLen; i++ {
+		want := uint32((i + 1) % testEpochLen)
+		s.AdvanceRound(testEpochLen)
+		if s.Round != want {
+			t.Fatalf("after %d advances Round = %d, want %d", i+1, s.Round, want)
+		}
+	}
+}
+
+func TestAdvanceRoundClampsForeignState(t *testing.T) {
+	// An adversarially inserted agent may carry Round >= epochLen; the
+	// advance must still bring it back into range rather than run away.
+	s := State{Round: uint32(testEpochLen + 50)}
+	s.AdvanceRound(testEpochLen)
+	if int(s.Round) >= testEpochLen {
+		t.Errorf("AdvanceRound left out-of-range Round = %d", s.Round)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    State
+		ok   bool
+	}{
+		{"zero", State{}, true},
+		{"active colored", State{Active: true, Color: 1}, true},
+		{"recruiting leader", State{Active: true, Recruiting: true, ToRecruit: 6}, true},
+		{"round overflow", State{Round: testEpochLen}, false},
+		{"color overflow", State{Active: true, Color: 2}, false},
+		{"recruiting inactive", State{Recruiting: true}, false},
+		{"negative depth", State{Active: true, ToRecruit: -1}, false},
+		{"depth overflow", State{Active: true, ToRecruit: 7}, false},
+		{"inactive colored", State{Color: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate(testEpochLen, 6)
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate(%+v) = %v, want ok=%v", tc.s, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestMessageMatchesFields(t *testing.T) {
+	f := func(round uint16, active bool, color uint8, recruiting bool) bool {
+		s := State{
+			Round:      uint32(round) % testEpochLen,
+			Active:     active,
+			Color:      color & 1,
+			Recruiting: recruiting,
+		}
+		m := s.Message(testEpochLen)
+		return m.Active == s.Active &&
+			m.Color == s.Color &&
+			m.Recruiting == s.Recruiting &&
+			m.InEvalPhase == (int(s.Round) == testEpochLen-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := State{Round: 12, Active: true, Color: 1, Recruiting: true, ToRecruit: 4}
+	got := s.String()
+	for _, want := range []string{"r12", "A", "1", "R", "d4"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+	inactive := State{Round: 3}
+	if got := inactive.String(); !strings.Contains(got, "-") {
+		t.Errorf("inactive String() = %q missing '-' flags", got)
+	}
+}

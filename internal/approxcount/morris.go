@@ -1,0 +1,133 @@
+// Package approxcount implements Morris approximate counters [Mor78], the
+// classical technique the paper cites for counting to N in Θ(log log N) bits
+// (§1.4, "Approximate Counting").
+//
+// The paper observes that with a deletion-only, state-oblivious adversary,
+// approximate counting techniques can solve population stability, but that
+// in the insertion-capable full-information model "constructing approximate
+// counters ... [is an] interesting open question". This package provides the
+// substrate used by that discussion: the single counter, the averaged
+// ensemble that trades memory for accuracy, and a merge operation for
+// gossip-style aggregation.
+package approxcount
+
+import (
+	"fmt"
+	"math"
+
+	"popstab/internal/prng"
+)
+
+// Morris is a single Morris counter: a Θ(log log n)-bit register X that is
+// incremented with probability 2^−X, giving the unbiased estimate 2^X − 1
+// with standard deviation ≈ n/√2.
+type Morris struct {
+	// X is the exponent register. uint8 supports counts beyond 2^255:
+	// vastly more than any simulated population.
+	X uint8
+}
+
+// Increment registers one event: X increases with probability 2^−X.
+func (m *Morris) Increment(src *prng.Source) {
+	if src.BiasedCoin(int(m.X)) {
+		// Saturate rather than wrap; unreachable in practice.
+		if m.X < math.MaxUint8 {
+			m.X++
+		}
+	}
+}
+
+// Estimate reports the unbiased count estimate 2^X − 1.
+func (m *Morris) Estimate() float64 {
+	return math.Exp2(float64(m.X)) - 1
+}
+
+// Bits reports the register width needed for the current value:
+// 1 + ⌈log₂(X+1)⌉, the Θ(log log n) memory the paper quotes.
+func (m *Morris) Bits() int {
+	bits := 1
+	for v := int(m.X); v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// Reset zeroes the counter.
+func (m *Morris) Reset() { m.X = 0 }
+
+// String renders the counter.
+func (m *Morris) String() string {
+	return fmt.Sprintf("morris(X=%d, est=%.0f)", m.X, m.Estimate())
+}
+
+// Ensemble averages k independent Morris counters, reducing the estimate's
+// relative standard deviation by √k at a cost of k·Θ(log log n) bits.
+type Ensemble struct {
+	counters []Morris
+}
+
+// NewEnsemble builds an ensemble of k counters. k must be positive.
+func NewEnsemble(k int) (*Ensemble, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("approxcount: ensemble size %d", k)
+	}
+	return &Ensemble{counters: make([]Morris, k)}, nil
+}
+
+// Increment registers one event in every counter (each with its own coin).
+func (e *Ensemble) Increment(src *prng.Source) {
+	for i := range e.counters {
+		e.counters[i].Increment(src)
+	}
+}
+
+// Estimate averages the per-counter estimates.
+func (e *Ensemble) Estimate() float64 {
+	sum := 0.0
+	for i := range e.counters {
+		sum += e.counters[i].Estimate()
+	}
+	return sum / float64(len(e.counters))
+}
+
+// Size reports the number of constituent counters.
+func (e *Ensemble) Size() int { return len(e.counters) }
+
+// Reset zeroes every counter.
+func (e *Ensemble) Reset() {
+	for i := range e.counters {
+		e.counters[i].Reset()
+	}
+}
+
+// Poison sets every register of e to the given exponent, modeling the
+// paper's insertion adversary choosing an agent's initial state arbitrarily
+// (§2: "the adversary ... can insert agents with arbitrary state"). A
+// poisoned ensemble claims ≈ 2^x events and dominates every subsequent
+// MergeMax.
+func Poison(e *Ensemble, x uint8) {
+	for i := range e.counters {
+		e.counters[i].X = x
+	}
+}
+
+// MergeMax folds another ensemble in by taking per-counter maxima. For
+// counters that observed disjoint event prefixes of the same stream this is
+// the standard gossip aggregation: the maximum register dominates, and the
+// estimate approaches the union count. It is exact for idempotent
+// aggregation of the same counter and heuristic otherwise — which is
+// precisely why the paper's insertion adversary (who may fabricate register
+// values) defeats counting-based protocols: a single inserted agent with a
+// maximal register poisons every merge it touches.
+func (e *Ensemble) MergeMax(other *Ensemble) error {
+	if len(e.counters) != len(other.counters) {
+		return fmt.Errorf("approxcount: merge size mismatch %d != %d",
+			len(e.counters), len(other.counters))
+	}
+	for i := range e.counters {
+		if other.counters[i].X > e.counters[i].X {
+			e.counters[i].X = other.counters[i].X
+		}
+	}
+	return nil
+}

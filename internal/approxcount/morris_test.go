@@ -1,0 +1,180 @@
+package approxcount
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"popstab/internal/prng"
+)
+
+func TestMorrisZero(t *testing.T) {
+	var m Morris
+	if m.Estimate() != 0 {
+		t.Errorf("fresh estimate %v", m.Estimate())
+	}
+	if m.Bits() != 1 {
+		t.Errorf("fresh Bits = %d", m.Bits())
+	}
+}
+
+func TestMorrisFirstIncrementDeterministic(t *testing.T) {
+	// With X=0 the increment probability is 2^0 = 1.
+	var m Morris
+	m.Increment(prng.New(1))
+	if m.X != 1 {
+		t.Errorf("X = %d after first increment, want 1", m.X)
+	}
+	if m.Estimate() != 1 {
+		t.Errorf("estimate %v, want 1", m.Estimate())
+	}
+}
+
+// TestMorrisUnbiased checks E[2^X − 1] = n over many independent trials.
+func TestMorrisUnbiased(t *testing.T) {
+	src := prng.New(2)
+	const n = 1000
+	const trials = 3000
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		var m Morris
+		for i := 0; i < n; i++ {
+			m.Increment(src)
+		}
+		sum += m.Estimate()
+	}
+	mean := sum / trials
+	// std of one estimate ≈ n/√2; of the mean ≈ n/√(2·trials).
+	tolerance := 6 * float64(n) / math.Sqrt(2*trials)
+	if math.Abs(mean-n) > tolerance {
+		t.Errorf("mean estimate %.1f, want %d ± %.1f", mean, n, tolerance)
+	}
+}
+
+func TestMorrisBitsLogarithmic(t *testing.T) {
+	src := prng.New(3)
+	var m Morris
+	for i := 0; i < 100000; i++ {
+		m.Increment(src)
+	}
+	// X ≈ log₂(100000) ≈ 17, so Bits ≈ 1 + ⌈log₂ 18⌉ ≈ 6.
+	if m.Bits() > 8 {
+		t.Errorf("Bits = %d for n=1e5; expected Θ(log log n)", m.Bits())
+	}
+}
+
+func TestMorrisReset(t *testing.T) {
+	var m Morris
+	m.X = 9
+	m.Reset()
+	if m.X != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestMorrisString(t *testing.T) {
+	var m Morris
+	if !strings.Contains(m.String(), "morris") {
+		t.Error("String")
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	if _, err := NewEnsemble(0); err == nil {
+		t.Error("accepted k=0")
+	}
+	e, err := NewEnsemble(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 8 {
+		t.Errorf("Size = %d", e.Size())
+	}
+}
+
+// TestEnsembleVarianceReduction verifies that averaging k counters shrinks
+// the spread of the estimate versus a single counter.
+func TestEnsembleVarianceReduction(t *testing.T) {
+	src := prng.New(4)
+	const n = 2000
+	const trials = 400
+	spread := func(k int) float64 {
+		sumSq, sum := 0.0, 0.0
+		for tr := 0; tr < trials; tr++ {
+			e, _ := NewEnsemble(k)
+			for i := 0; i < n; i++ {
+				e.Increment(src)
+			}
+			v := e.Estimate()
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / trials
+		return math.Sqrt(sumSq/trials - mean*mean)
+	}
+	s1 := spread(1)
+	s16 := spread(16)
+	if s16*2 > s1 {
+		t.Errorf("ensemble of 16 spread %.1f not clearly below single %.1f", s16, s1)
+	}
+}
+
+func TestEnsembleReset(t *testing.T) {
+	e, _ := NewEnsemble(4)
+	src := prng.New(5)
+	for i := 0; i < 100; i++ {
+		e.Increment(src)
+	}
+	e.Reset()
+	if e.Estimate() != 0 {
+		t.Errorf("estimate %v after Reset", e.Estimate())
+	}
+}
+
+func TestMergeMax(t *testing.T) {
+	a, _ := NewEnsemble(3)
+	b, _ := NewEnsemble(3)
+	a.counters[0].X = 5
+	b.counters[0].X = 3
+	b.counters[2].X = 7
+	if err := a.MergeMax(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.counters[0].X != 5 || a.counters[1].X != 0 || a.counters[2].X != 7 {
+		t.Errorf("merge result %+v", a.counters)
+	}
+	c, _ := NewEnsemble(2)
+	if err := a.MergeMax(c); err == nil {
+		t.Error("merge accepted size mismatch")
+	}
+}
+
+// TestMergePoisoning demonstrates the insertion attack on counting: one
+// fabricated maximal register dominates every merge, inflating estimates
+// arbitrarily — the reason the paper's model defeats counting approaches.
+func TestMergePoisoning(t *testing.T) {
+	honest, _ := NewEnsemble(4)
+	src := prng.New(6)
+	for i := 0; i < 100; i++ {
+		honest.Increment(src)
+	}
+	before := honest.Estimate()
+	poison, _ := NewEnsemble(4)
+	for i := range poison.counters {
+		poison.counters[i].X = 40 // claims ≈ 10^12 events
+	}
+	if err := honest.MergeMax(poison); err != nil {
+		t.Fatal(err)
+	}
+	if honest.Estimate() < 1e9 || honest.Estimate() <= before {
+		t.Errorf("poisoning had no effect: %v -> %v", before, honest.Estimate())
+	}
+}
+
+func BenchmarkMorrisIncrement(b *testing.B) {
+	src := prng.New(1)
+	var m Morris
+	for i := 0; i < b.N; i++ {
+		m.Increment(src)
+	}
+}

@@ -1,0 +1,226 @@
+// Package baseline implements the comparison protocols the paper analyzes:
+//
+//   - Attempt 1 (§1.3.1): non-interactive leader election — sound without an
+//     adversary, destroyed by leader-targeted deletion or insertion;
+//   - Attempt 2 (§1.3.1): independent coloring — no special states, but the
+//     population random-walks away from N even with no adversary;
+//   - Empty: the do-nothing protocol (drift reference);
+//   - HighMemory (§1.2): the trivial unique-identifier protocol, which needs
+//     Θ(N)-bit agents and survives only deletion-only adversaries.
+//
+// Attempt 1, Attempt 2 and Empty implement the same Stepper contract as the
+// real protocol and run on the internal/sim engine; HighMemory violates the
+// low-memory model and ships its own self-contained simulator.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"popstab/internal/adversary"
+	"popstab/internal/agent"
+	"popstab/internal/params"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+	"popstab/internal/wire"
+)
+
+// Attempt1 is the non-interactive leader election protocol (paper §1.3.1),
+// including the signal amplification step the paper sketches ("After
+// repeating to amplify the signal, with high probability the agents can
+// detect if the population is too small or too large").
+//
+// An epoch consists of Repeats sub-epochs followed by one decision round.
+// In each sub-epoch every agent flips a coin with Pr[1] = 1/N ("I am a
+// leader") and then gossips the OR of everything heard for gossipRounds
+// rounds; at the sub-epoch's end each agent increments a counter if it heard
+// any leader. The per-sub-epoch signal Pr[heard] = 1 − (1−1/N)^m ≈ 1 − e^(−m/N)
+// is monotone in the population m, so in the decision round each agent
+// splits with probability pSplitMax·(Repeats−count)/Repeats and dies with
+// probability pDieMax·count/Repeats, calibrated to zero expected change at
+// m = N.
+//
+// State mapping onto agent.State: Color holds the agent's own coin for the
+// current sub-epoch; Active holds the running OR ("heard a 1" this
+// sub-epoch); ToRecruit counts sub-epochs in which a leader was heard.
+// Round is the epoch position.
+type Attempt1 struct {
+	p params.Params
+	// repeats is the number of amplification sub-epochs per epoch.
+	repeats int
+	// gossipRounds is the OR-spreading window per sub-epoch, sized so one
+	// leader reaches (nearly) everyone under the γ-matching scheduler:
+	// growth phase log N / log(1+γ) plus straggler phase log N / γ.
+	gossipRounds int
+	// pSplitMax and pDieMax scale the decision probabilities.
+	pSplitMax, pDieMax float64
+	// qEquilibrium is Pr[heard per sub-epoch] at m = N, the calibration
+	// point: 1 − 1/e.
+	qEquilibrium float64
+}
+
+// NewAttempt1 builds the baseline for the given parameters.
+func NewAttempt1(p params.Params) (*Attempt1, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lnN := math.Log(float64(p.N))
+	gossip := int(math.Ceil(lnN/math.Log1p(p.Gamma))) + int(math.Ceil(lnN/p.Gamma))
+	q := 1 - math.Exp(-1)
+	const pSplitMax = 0.3
+	return &Attempt1{
+		p:            p,
+		repeats:      6,
+		gossipRounds: gossip,
+		pSplitMax:    pSplitMax,
+		pDieMax:      pSplitMax * (1 - q) / q,
+		qEquilibrium: q,
+	}, nil
+}
+
+// MustNewAttempt1 panics on error (tests and examples).
+func MustNewAttempt1(p params.Params) *Attempt1 {
+	a, err := NewAttempt1(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// SubEpochLen reports the length of one sub-epoch (coin round + gossip).
+func (a *Attempt1) SubEpochLen() int { return a.gossipRounds + 1 }
+
+// Repeats reports the number of amplification sub-epochs.
+func (a *Attempt1) Repeats() int { return a.repeats }
+
+// EpochLen reports the epoch length: Repeats sub-epochs + 1 decision round.
+func (a *Attempt1) EpochLen() int { return a.repeats*a.SubEpochLen() + 1 }
+
+// Compose sends the single gossip bit (own coin OR anything heard).
+func (a *Attempt1) Compose(s *agent.State) uint8 {
+	if s.Active || s.Color == 1 {
+		return 1
+	}
+	return 0
+}
+
+// Decode interprets the gossip bit.
+func (a *Attempt1) Decode(b uint8) wire.Message {
+	return wire.Message{Active: b != 0}
+}
+
+// Step advances one agent one round.
+func (a *Attempt1) Step(s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) population.Action {
+	t := a.EpochLen()
+	if int(s.Round) >= t {
+		s.Round %= uint32(t)
+	}
+	round := int(s.Round)
+	act := population.ActKeep
+	sub := a.SubEpochLen()
+	switch {
+	case round == t-1:
+		// Decision round: split when few sub-epochs heard a leader
+		// (population probably small), die when most did.
+		count := float64(s.ToRecruit)
+		r := float64(a.repeats)
+		// One uniform draw with disjoint split/die regions keeps the two
+		// probabilities exact (pSplitMax + pDieMax < 1 guarantees
+		// disjointness), so the expected change is
+		// pSplitMax·(r−c)/r − pDieMax·c/r, zero exactly at c/r = q.
+		u := src.Float64()
+		if u < a.pSplitMax*(r-count)/r {
+			act = population.ActSplit
+		} else if u > 1-a.pDieMax*count/r {
+			act = population.ActDie
+		}
+		s.Active = false
+		s.Color = 0
+		s.ToRecruit = 0
+	case round%sub == 0:
+		// Coin round: Pr[coin=1] = 1/N = 2^-logN. The previous sub-epoch
+		// was closed in its final gossip round.
+		s.Color = 0
+		s.Active = false
+		if src.BiasedCoin(a.p.LogN) {
+			s.Color = 1
+			s.Active = true
+		}
+	default:
+		// Gossip round: fold in the neighbor's bit.
+		if hasNbr && nbr.Active {
+			s.Active = true
+		}
+		if round%sub == sub-1 && s.Active {
+			// Final gossip round of the sub-epoch: record the outcome.
+			s.ToRecruit++
+		}
+	}
+	s.AdvanceRound(t)
+	return act
+}
+
+// --- Attempt-1-specific adversaries (the attacks from §1.3.1) ---
+
+// attempt1Suppressor inserts one agent per sub-epoch with the "heard a
+// leader" bit set, forcing every agent to believe the population is large:
+// the population then shrinks toward collapse. This is the paper's "insert
+// an agent with coin value c = 1 in each phase".
+type attempt1Suppressor struct {
+	a *Attempt1
+}
+
+var _ adversary.Adversary = (*attempt1Suppressor)(nil)
+
+// NewAttempt1Suppressor returns the insertion attack against Attempt 1.
+func NewAttempt1Suppressor(a *Attempt1) adversary.Adversary {
+	return &attempt1Suppressor{a: a}
+}
+
+func (s *attempt1Suppressor) Name() string { return "attempt1-suppressor" }
+
+func (s *attempt1Suppressor) Act(v adversary.View, m adversary.Mutator, _ *prng.Source) {
+	round := int(v.GlobalRound() % uint64(s.a.EpochLen()))
+	if round >= s.a.EpochLen()-1 || round%s.a.SubEpochLen() != 1 {
+		// Insert just after each coin round so the fake signal gossips for
+		// the whole sub-epoch.
+		return
+	}
+	m.Insert(agent.State{Round: uint32(round), Active: true, Color: 1})
+}
+
+// attempt1Igniter deletes every agent whose coin or heard bit is 1, early in
+// the gossip phase while the carriers are still few: no agent ever hears a
+// leader, every agent splits, and the population explodes. This is exactly
+// the paper's "identify the agent or agents with coin value 1 and
+// selectively remove these agents".
+type attempt1Igniter struct {
+	scratch []int
+}
+
+var _ adversary.Adversary = (*attempt1Igniter)(nil)
+
+// NewAttempt1Igniter returns the deletion attack against Attempt 1.
+func NewAttempt1Igniter(*Attempt1) adversary.Adversary {
+	return &attempt1Igniter{}
+}
+
+func (g *attempt1Igniter) Name() string { return "attempt1-igniter" }
+
+func (g *attempt1Igniter) Act(v adversary.View, m adversary.Mutator, _ *prng.Source) {
+	// Strike every round: carriers double per round, so early, repeated
+	// removal keeps the count at zero. (Agents with a nonzero sub-epoch
+	// counter are not carriers — the bit they heard is already erased.)
+	g.scratch = v.Find(g.scratch[:0], m.Remaining(), func(s agent.State) bool {
+		return s.Active || s.Color == 1
+	})
+	for _, i := range g.scratch {
+		m.Delete(i)
+	}
+}
+
+// String renders the configuration.
+func (a *Attempt1) String() string {
+	return fmt.Sprintf("attempt1(N=%d epoch=%d repeats=%d gossip=%d pSplit=%.3f pDie=%.3f)",
+		a.p.N, a.EpochLen(), a.repeats, a.gossipRounds, a.pSplitMax, a.pDieMax)
+}

@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"fmt"
+
+	"popstab/internal/agent"
+	"popstab/internal/params"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+	"popstab/internal/wire"
+)
+
+// Attempt2 is the independent-coloring protocol (paper §1.3.1).
+//
+// Each agent flips a fair coin to pick a color, then compares the colors of
+// the next two agents it encounters: if they were equal it splits with
+// probability 1 − 2/N, otherwise it self-destructs, then re-flips and
+// repeats. Two encounters with distinct agents yield independent colors
+// (Pr[equal] = ½) while hitting the same agent twice forces equality
+// (Pr ≈ 1/m), so the split/death balance carries a Θ(1/m) signal about the
+// population size — far too weak: the paper shows the population behaves
+// like a random walk even with no adversary, which experiment E10
+// reproduces.
+//
+// The split probability 1 − 2/N makes the expected change zero at m = N
+// exactly (Pr[equal | m] = ½ + 1/(2m), solve (1−c/N)·Pr[equal] = Pr[diff]
+// at m = N for c).
+//
+// State mapping onto agent.State: Color is the agent's own advertised coin
+// (re-flipped at the start of each comparison window); ToRecruit counts
+// observations made (0 or 1); Recruiting stores the first observed partner
+// color; Active marks an initialized window. Agents run their comparison
+// windows asynchronously — there are no epochs (EpochLen = 1).
+type Attempt2 struct {
+	p      params.Params
+	pSplit float64
+}
+
+// NewAttempt2 builds the baseline.
+func NewAttempt2(p params.Params) (*Attempt2, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Attempt2{p: p, pSplit: 1 - 2/float64(p.N)}, nil
+}
+
+// MustNewAttempt2 panics on error (tests and examples).
+func MustNewAttempt2(p params.Params) *Attempt2 {
+	a, err := NewAttempt2(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// EpochLen reports 1: the protocol has no global phase structure.
+func (a *Attempt2) EpochLen() int { return 1 }
+
+// Compose sends the agent's current color.
+func (a *Attempt2) Compose(s *agent.State) uint8 { return s.Color & 1 }
+
+// Decode interprets the color bit.
+func (a *Attempt2) Decode(b uint8) wire.Message {
+	return wire.Message{Active: true, Color: b & 1}
+}
+
+// Step advances one agent: record the partner's color on each encounter and
+// decide after the second, comparing the two partners' colors with each
+// other.
+func (a *Attempt2) Step(s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) population.Action {
+	if !s.Active {
+		// Fresh window: flip own advertised coin. Active marks an
+		// initialized window so adversarially inserted or newborn agents
+		// start cleanly.
+		s.Color = src.Bit()
+		s.Active = true
+		s.Recruiting = false
+		s.ToRecruit = 0
+	}
+	if !hasNbr {
+		return population.ActKeep
+	}
+	if s.ToRecruit == 0 {
+		// First encounter: remember the partner's color.
+		s.Recruiting = nbr.Color == 1
+		s.ToRecruit = 1
+		return population.ActKeep
+	}
+	// Second encounter: compare the two observed colors.
+	first := uint8(0)
+	if s.Recruiting {
+		first = 1
+	}
+	equal := nbr.Color == first
+	s.Active = false // next step opens a fresh window
+	s.Recruiting = false
+	s.ToRecruit = 0
+	if !equal {
+		return population.ActDie
+	}
+	if src.Prob(a.pSplit) {
+		return population.ActSplit
+	}
+	return population.ActKeep
+}
+
+// String renders the configuration.
+func (a *Attempt2) String() string {
+	return fmt.Sprintf("attempt2(N=%d pSplit=%.6f)", a.p.N, a.pSplit)
+}
+
+// Empty is the do-nothing protocol: agents never split or die. It is the
+// reference arm showing what population trajectories look like when only
+// the adversary acts.
+type Empty struct{}
+
+// EpochLen reports 1.
+func (Empty) EpochLen() int { return 1 }
+
+// Compose sends a constant.
+func (Empty) Compose(*agent.State) uint8 { return 0 }
+
+// Decode ignores the wire byte.
+func (Empty) Decode(uint8) wire.Message { return wire.Message{} }
+
+// Step keeps every agent forever.
+func (Empty) Step(*agent.State, wire.Message, bool, *prng.Source) population.Action {
+	return population.ActKeep
+}

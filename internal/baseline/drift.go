@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"fmt"
+
+	"popstab/internal/agent"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+	"popstab/internal/sim"
+	"popstab/internal/wire"
+)
+
+// DriftingClock wraps a protocol so that each agent, independently each
+// round, stalls with probability SkipProb: it neither acts nor advances its
+// round counter, modeling a slow local clock. This probes the partial-
+// synchrony question from the paper's §1.2 ("one could consider a setting
+// where agents have clocks that have bounded drift relative to one
+// another"): the round-consistency check culls agents whose clocks drift a
+// full phase apart, so small drift costs a small, steady death rate while
+// large drift destroys the epoch alignment. Experiment A6 quantifies the
+// tolerance curve.
+type DriftingClock struct {
+	// Inner is the wrapped protocol.
+	Inner sim.Stepper
+	// SkipProb is each agent's per-round stall probability.
+	SkipProb float64
+}
+
+var _ sim.Stepper = (*DriftingClock)(nil)
+
+// NewDriftingClock validates the stall probability and wraps inner.
+func NewDriftingClock(inner sim.Stepper, skipProb float64) (*DriftingClock, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("baseline: nil inner protocol")
+	}
+	if skipProb < 0 || skipProb >= 1 {
+		return nil, fmt.Errorf("baseline: skip probability %v outside [0, 1)", skipProb)
+	}
+	return &DriftingClock{Inner: inner, SkipProb: skipProb}, nil
+}
+
+// EpochLen reports the inner protocol's epoch length.
+func (d *DriftingClock) EpochLen() int { return d.Inner.EpochLen() }
+
+// Compose delegates to the inner protocol.
+func (d *DriftingClock) Compose(s *agent.State) uint8 { return d.Inner.Compose(s) }
+
+// Decode delegates to the inner protocol.
+func (d *DriftingClock) Decode(b uint8) wire.Message { return d.Inner.Decode(b) }
+
+// Step stalls the agent with probability SkipProb and otherwise delegates.
+// A stalled agent is invisible to its neighbor only in the sense that it
+// takes no action; the neighbor still consumed the stalled agent's (stale)
+// message, exactly as a real slow processor would behave.
+func (d *DriftingClock) Step(s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) population.Action {
+	if src.Prob(d.SkipProb) {
+		return population.ActKeep
+	}
+	return d.Inner.Step(s, nbr, hasNbr, src)
+}

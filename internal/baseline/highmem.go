@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"fmt"
+
+	"popstab/internal/prng"
+)
+
+// HighMemory is the trivial unique-identifier protocol sketched in paper
+// §1.2 ("Population stability in the high-memory setting"). Each agent draws
+// a random identifier long enough to be unique with high probability, then
+// for an interval broadcasts the set of identifiers it has received so far;
+// at the end of the interval every agent knows (approximately) the set of
+// all living agents, hence the population size, and corrects proportionally.
+//
+// The protocol violates the paper's memory model — each agent stores
+// Θ(m·|id|) bits — and is therefore simulated by its own engine rather than
+// through the Θ(log log N)-bit agent.State machinery. Its role is
+// experiment E15: it solves the problem against a deletion-only adversary,
+// and collapses against an adversary that inserts agents with fabricated
+// identifier sets (arbitrary initial state!), illustrating why insertion
+// makes counting-based approaches fail.
+type HighMemory struct {
+	cfg    HighMemConfig
+	agents []hmAgent
+	src    *prng.Source
+	advSrc *prng.Source
+	round  uint64
+	nextID uint64
+}
+
+// hmAgent is one high-memory agent: an identifier and the set of identifiers
+// heard this interval.
+type hmAgent struct {
+	id    uint64
+	known map[uint64]struct{}
+}
+
+// HighMemConfig parameterizes the high-memory baseline.
+type HighMemConfig struct {
+	// N is the population target. Any value ≥ 2 (the protocol has no
+	// power-of-four constraint).
+	N int
+	// Gamma is the matched fraction per round, in (0, 1].
+	Gamma float64
+	// Alpha is the correction dead-band half-width: agents only act when
+	// their estimate leaves [(1−α/2)N, (1+α/2)N].
+	Alpha float64
+	// GossipRounds is the broadcast interval length; 0 derives 2⌈log₂N⌉+4.
+	GossipRounds int
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+// NewHighMemory validates cfg and builds the simulator with N fresh agents.
+func NewHighMemory(cfg HighMemConfig) (*HighMemory, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("baseline: high-memory N = %d too small", cfg.N)
+	}
+	if cfg.Gamma <= 0 || cfg.Gamma > 1 {
+		return nil, fmt.Errorf("baseline: gamma %v outside (0, 1]", cfg.Gamma)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("baseline: alpha %v outside (0, 1]", cfg.Alpha)
+	}
+	if cfg.GossipRounds == 0 {
+		lg := 0
+		for v := cfg.N; v > 1; v >>= 1 {
+			lg++
+		}
+		cfg.GossipRounds = 2*lg + 4
+	}
+	root := prng.New(cfg.Seed)
+	h := &HighMemory{cfg: cfg, src: root.Split(), advSrc: root.Split()}
+	h.agents = make([]hmAgent, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		h.agents = append(h.agents, h.newAgent())
+	}
+	return h, nil
+}
+
+// newAgent draws a fresh unique identifier. 64 random bits stand in for the
+// paper's N-bit identifiers; collisions are negligible at simulated scales
+// and uniqueness is additionally enforced by a counter in the high bits.
+func (h *HighMemory) newAgent() hmAgent {
+	h.nextID++
+	id := h.nextID<<32 | (h.src.Uint64() & 0xffffffff)
+	return hmAgent{id: id, known: map[uint64]struct{}{id: {}}}
+}
+
+// Size reports the current population.
+func (h *HighMemory) Size() int { return len(h.agents) }
+
+// EpochLen reports the interval length in rounds (gossip + decision).
+func (h *HighMemory) EpochLen() int { return h.cfg.GossipRounds + 1 }
+
+// Adversary hooks for the two E15 arms.
+
+// DeleteRandom removes up to k random agents (the deletion-only adversary).
+func (h *HighMemory) DeleteRandom(k int) int {
+	deleted := 0
+	for i := 0; i < k && len(h.agents) > 0; i++ {
+		j := h.advSrc.Intn(len(h.agents))
+		last := len(h.agents) - 1
+		h.agents[j] = h.agents[last]
+		h.agents = h.agents[:last]
+		deleted++
+	}
+	return deleted
+}
+
+// InsertFabricated inserts k agents whose known-sets are pre-loaded with
+// fakeIDs invented identifiers. The inserted agents follow the protocol; the
+// poison is purely their initial state, which the model lets the adversary
+// choose arbitrarily.
+func (h *HighMemory) InsertFabricated(k, fakeIDs int) {
+	for i := 0; i < k; i++ {
+		a := h.newAgent()
+		for f := 0; f < fakeIDs; f++ {
+			h.nextID++
+			a.known[h.nextID<<32|(h.advSrc.Uint64()&0xffffffff)] = struct{}{}
+		}
+		h.agents = append(h.agents, a)
+	}
+}
+
+// RunRound advances one round: pair a γ fraction uniformly, merge known
+// sets, and on interval boundaries apply the proportional correction.
+func (h *HighMemory) RunRound() {
+	n := len(h.agents)
+	if n >= 2 {
+		perm := h.src.Perm(n)
+		pairs := int(h.cfg.Gamma * float64(n) / 2)
+		for i := 0; i < 2*pairs; i += 2 {
+			a, b := &h.agents[perm[i]], &h.agents[perm[i+1]]
+			merge(a.known, b.known)
+			merge(b.known, a.known)
+		}
+	}
+	h.round++
+	if int(h.round)%h.EpochLen() == 0 {
+		h.decide()
+	}
+}
+
+// merge adds every element of src to dst.
+func merge(dst, src map[uint64]struct{}) {
+	for id := range src {
+		dst[id] = struct{}{}
+	}
+}
+
+// decide has every agent estimate the population as |known| and correct
+// proportionally when the estimate leaves the dead band, then reset its
+// known-set for the next interval.
+func (h *HighMemory) decide() {
+	n := float64(h.cfg.N)
+	lo := n * (1 - h.cfg.Alpha/2)
+	hi := n * (1 + h.cfg.Alpha/2)
+	survivors := h.agents[:0]
+	var births []hmAgent
+	for i := range h.agents {
+		a := &h.agents[i]
+		est := float64(len(a.known))
+		switch {
+		case est < lo:
+			// Split with probability (N−est)/est so the expected post-step
+			// total returns to N when every agent sees the same estimate.
+			if h.src.Prob((n - est) / est) {
+				births = append(births, h.newAgent())
+			}
+			survivors = append(survivors, *a)
+		case est > hi:
+			// Die with probability (est−N)/est.
+			if !h.src.Prob((est - n) / est) {
+				survivors = append(survivors, *a)
+			}
+		default:
+			survivors = append(survivors, *a)
+		}
+	}
+	h.agents = append(survivors, births...)
+	for i := range h.agents {
+		id := h.agents[i].id
+		h.agents[i].known = map[uint64]struct{}{id: {}}
+	}
+}
+
+// RunEpoch runs one full gossip interval plus its decision round.
+func (h *HighMemory) RunEpoch() {
+	for i := 0; i < h.EpochLen(); i++ {
+		h.RunRound()
+	}
+}
+
+// MemoryBitsPerAgent estimates the per-agent memory the protocol is using
+// right now (identifier bits times known-set size), demonstrating the Θ(N)
+// blow-up versus the main protocol's Θ(log log N) bits.
+func (h *HighMemory) MemoryBitsPerAgent() float64 {
+	if len(h.agents) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range h.agents {
+		total += len(h.agents[i].known)
+	}
+	return 64 * float64(total) / float64(len(h.agents))
+}

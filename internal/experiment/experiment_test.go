@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"popstab/internal/prng"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	wantIDs := []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17",
+		"A1", "A2", "A3", "A4", "A5", "A6",
+	}
+	all := All()
+	if len(all) != len(wantIDs) {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registry has %d experiments %v, want %d", len(all), ids, len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if all[i].ID != want {
+			t.Errorf("position %d: %s, want %s (ordering)", i, all[i].ID, want)
+		}
+	}
+	for _, e := range all {
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete descriptor", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E1"); !ok {
+		t.Error("E1 not found")
+	}
+	if _, ok := Lookup("e7"); !ok {
+		t.Error("lookup must be case-insensitive")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	cases := []struct {
+		a, b string
+		less bool
+	}{
+		{"E1", "E2", true},
+		{"E2", "E10", true},
+		{"E16", "A1", true},
+		{"A1", "A2", true},
+		{"A2", "E1", false},
+	}
+	for _, tc := range cases {
+		if got := idLess(tc.a, tc.b); got != tc.less {
+			t.Errorf("idLess(%s,%s) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "demo", Cols: []string{"a", "bee"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, want := range []string{"demo", "a", "bee", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := Result{ID: "E0", Title: "t", Claim: "c", Verdict: "v", Notes: []string{"n"}}
+	out := r.Render()
+	for _, want := range []string{"E0", "claim:", "verdict:", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestRunTrialsDeterministicOrdered(t *testing.T) {
+	fn := func(trial int, src *prng.Source) float64 {
+		return float64(trial)*1000 + float64(src.Uint64()%100)
+	}
+	a := RunTrials(16, 4, 42, fn)
+	b := RunTrials(16, 2, 42, fn)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d: %v != %v (worker count changed results)", i, a[i], b[i])
+		}
+		if int(a[i]/1000) != i {
+			t.Fatalf("trial %d out of order: %v", i, a[i])
+		}
+	}
+}
+
+func TestPreparedEval(t *testing.T) {
+	p, err := paramsFor(4096, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := PreparedEval(p, 4096, 3, 5)
+	if pop.Len() != 4096 {
+		t.Fatalf("len = %d", pop.Len())
+	}
+	c := pop.TakeCensus(p.T-1, p.HalfLogN)
+	if c.Active != 8*p.ClusterSize {
+		t.Errorf("active = %d, want %d", c.Active, 8*p.ClusterSize)
+	}
+	if c.ColorCount[0] != 3*p.ClusterSize || c.ColorCount[1] != 5*p.ClusterSize {
+		t.Errorf("colors %v", c.ColorCount)
+	}
+	if c.InEval != 4096 {
+		t.Errorf("InEval = %d", c.InEval)
+	}
+	if c.WrongRound != 0 {
+		t.Errorf("WrongRound = %d", c.WrongRound)
+	}
+}
+
+func TestPreparedEvalTruncates(t *testing.T) {
+	p, err := paramsFor(4096, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More clusters than fit: population must still be exactly total.
+	pop := PreparedEval(p, 100, 2, 2)
+	if pop.Len() != 100 {
+		t.Fatalf("len = %d", pop.Len())
+	}
+}
+
+func TestExpectedClusters(t *testing.T) {
+	p, err := paramsFor(4096, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ExpectedClusters(p, 4096); got != 8 {
+		t.Errorf("ExpectedClusters = %d, want 8", got)
+	}
+}
+
+// TestSuiteQuick runs every registered experiment at Quick scale and checks
+// that each reproduces its claim (verdict REPRODUCED). This is the
+// repository's end-to-end reproduction gate.
+func TestSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite runs take minutes; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Execute(Config{Scale: Quick, Seed: 7, Workers: runtime.NumCPU()})
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("Execute did not stamp ID: %q", res.ID)
+			}
+			if !strings.HasPrefix(res.Verdict, "REPRODUCED") {
+				t.Errorf("%s verdict: %s\n%s", e.ID, res.Verdict, res.Render())
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"popstab/internal/agent"
+	"popstab/internal/params"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// PreparedEval builds a population positioned at the start of the evaluation
+// round (round T−1) with exactly clusters0 + clusters1 full clusters of √N
+// same-colored agents and the remainder inactive — the post-recruitment
+// state Lemmas 6–8 reason about. It lets drift experiments sample the
+// evaluation dynamics directly at one round per trial instead of simulating
+// the whole Θ(log³N)-round epoch.
+func PreparedEval(p params.Params, total, clusters0, clusters1 int) *population.Population {
+	states := make([]agent.State, 0, total)
+	evalRound := uint32(p.T - 1)
+	addCluster := func(color uint8) {
+		for i := 0; i < p.ClusterSize && len(states) < total; i++ {
+			states = append(states, agent.State{
+				Round:  evalRound,
+				Active: true,
+				Color:  color,
+			})
+		}
+	}
+	for c := 0; c < clusters0; c++ {
+		addCluster(0)
+	}
+	for c := 0; c < clusters1; c++ {
+		addCluster(1)
+	}
+	for len(states) < total {
+		states = append(states, agent.State{Round: evalRound})
+	}
+	return population.FromStates(states)
+}
+
+// PreparedEvalRandomColors builds a prepared evaluation population with
+// `clusters` clusters whose colors are independent fair coins — the honest
+// distribution of Lemma 8.
+func PreparedEvalRandomColors(p params.Params, total, clusters int, src *prng.Source) *population.Population {
+	c1 := 0
+	for i := 0; i < clusters; i++ {
+		if src.Bool() {
+			c1++
+		}
+	}
+	return PreparedEval(p, total, clusters-c1, c1)
+}
+
+// ExpectedClusters reports the expected number of complete clusters for a
+// population of size m: m/(8√N), the leader-selection mean.
+func ExpectedClusters(p params.Params, m int) int {
+	return m / (8 * p.ClusterSize)
+}

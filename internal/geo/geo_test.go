@@ -1,0 +1,184 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"popstab/internal/match"
+	"popstab/internal/params"
+)
+
+func fastParams(t testing.TB) params.Params {
+	t.Helper()
+	p, err := params.Derive(4096, params.WithTinner(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Params: params.Params{}}); err == nil {
+		t.Error("accepted zero params")
+	}
+	if _, err := New(Config{Params: fastParams(t), DaughterSpread: -1}); err == nil {
+		t.Error("accepted negative spread")
+	}
+}
+
+func TestTorusDistance(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0.1, 0}, Point{0.2, 0}, 0.01},
+		{Point{0.05, 0}, Point{0.95, 0}, 0.01}, // wraps around
+		{Point{0, 0.05}, Point{0, 0.95}, 0.01},
+		{Point{0, 0}, Point{0.5, 0.5}, 0.5},
+	}
+	for _, tc := range cases {
+		if got := torusDist2(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("torusDist2(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cases := map[float64]float64{0.5: 0.5, 1.25: 0.25, -0.25: 0.75, 2.5: 0.5}
+	for in, want := range cases {
+		if got := wrap(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("wrap(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestMatchingIsValidAndLocal(t *testing.T) {
+	e, err := New(Config{Params: fastParams(t), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.Size()
+	e.ensureBuffers(n)
+	e.matchLocal(n)
+
+	matched := 0
+	var sumD float64
+	for i := 0; i < n; i++ {
+		j := e.nbr[i]
+		if j == match.Unmatched {
+			continue
+		}
+		matched++
+		if int(e.nbr[j]) != i {
+			t.Fatalf("asymmetric pair %d -> %d -> %d", i, j, e.nbr[j])
+		}
+		if int(j) == i {
+			t.Fatalf("self pair at %d", i)
+		}
+		sumD += math.Sqrt(torusDist2(e.pos[i], e.pos[j]))
+	}
+	if matched < n/2 {
+		t.Errorf("only %d of %d agents matched", matched, n)
+	}
+	// Locality: mean pair distance must be on the order of the spacing
+	// 1/√N, far below the uniform-matching expectation ≈ 0.38.
+	meanD := sumD / float64(matched)
+	spacing := 1 / math.Sqrt(float64(n))
+	if meanD > 5*spacing {
+		t.Errorf("mean pair distance %.4f not local (spacing %.4f)", meanD, spacing)
+	}
+}
+
+func TestDaughterPlacedNearParent(t *testing.T) {
+	e, err := New(Config{Params: fastParams(t), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := Point{X: 0.5, Y: 0.5}
+	spacing := 1 / math.Sqrt(float64(e.cfg.Params.N))
+	for i := 0; i < 1000; i++ {
+		d := math.Sqrt(torusDist2(parent, e.daughterPos(parent)))
+		if d > 10*spacing {
+			t.Fatalf("daughter placed %.4f away (spacing %.4f)", d, spacing)
+		}
+	}
+}
+
+func TestPositionsTrackPopulation(t *testing.T) {
+	e, err := New(Config{Params: fastParams(t), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*e.cfg.Params.T; i++ {
+		e.RunRound()
+		if len(e.states) != len(e.pos) {
+			t.Fatalf("round %d: %d states vs %d positions", i, len(e.states), len(e.pos))
+		}
+	}
+	for i := range e.pos {
+		if e.pos[i].X < 0 || e.pos[i].X >= 1 || e.pos[i].Y < 0 || e.pos[i].Y >= 1 {
+			t.Fatalf("position %d out of torus: %+v", i, e.pos[i])
+		}
+	}
+}
+
+func BenchmarkGeoRound(b *testing.B) {
+	p, err := params.Derive(4096, params.WithTinner(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{Params: p, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRound()
+	}
+}
+
+// TestLocalMatchingBiasesColorSignal is the core A5 observation: under
+// local matching, matched colored pairs share a color far more often than
+// the well-mixed analysis predicts, because recruitment spreads clusters as
+// spatial patches.
+func TestLocalMatchingBiasesColorSignal(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run to the evaluation round of the first epoch and inspect matched
+	// colored pairs directly.
+	for i := 0; i < p.T-1; i++ {
+		e.RunRound()
+	}
+	n := e.Size()
+	e.ensureBuffers(n)
+	e.matchLocal(n)
+	same, diff := 0, 0
+	for i := 0; i < n; i++ {
+		j := e.nbr[i]
+		if j == match.Unmatched || int(j) < i {
+			continue
+		}
+		a, b := e.states[i], e.states[j]
+		if !a.Active || !b.Active {
+			continue
+		}
+		if a.Color == b.Color {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if same+diff < 20 {
+		t.Skipf("too few colored pairs to judge (%d)", same+diff)
+	}
+	frac := float64(same) / float64(same+diff)
+	// Well-mixed prediction: 1/2 + 4/√N ≈ 0.56. Spatial clustering pushes
+	// it far higher.
+	if frac < 0.7 {
+		t.Errorf("same-color fraction %.3f; expected strong spatial bias > 0.7", frac)
+	}
+}

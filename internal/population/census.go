@@ -1,0 +1,129 @@
+package population
+
+import (
+	"fmt"
+	"sort"
+
+	"popstab/internal/agent"
+)
+
+// Census is a full statistical snapshot of the population, used by invariant
+// tests (Lemmas 3–6), adversary strategies (the adversary may read all
+// memory), and experiment reporting.
+type Census struct {
+	// Total is the number of living agents.
+	Total int
+	// Active is the number of agents with active = 1.
+	Active int
+	// Recruiting is the number of agents currently recruiting.
+	Recruiting int
+	// ColorCount counts active agents of each color.
+	ColorCount [2]int
+	// InEval is the number of agents whose round counter equals evalRound.
+	InEval int
+	// MajorityRound is the most common round value (ties broken toward the
+	// smaller round).
+	MajorityRound uint32
+	// WrongRound is the number of agents whose round differs from
+	// MajorityRound (the quantity bounded by Lemma 3).
+	WrongRound int
+	// ByToRecruit histograms active agents by their toRecruit counter;
+	// index d counts active agents with toRecruit = d.
+	ByToRecruit []int
+	// RoundValues lists the distinct round values present, ascending.
+	RoundValues []uint32
+}
+
+// TakeCensus scans the population once and aggregates all counters.
+// evalRound is the epoch's evaluation round index (T−1) and maxDepth the
+// maximum toRecruit value (½log N).
+func (p *Population) TakeCensus(evalRound int, maxDepth int) Census {
+	c := Census{
+		Total:       len(p.states),
+		ByToRecruit: make([]int, maxDepth+1),
+	}
+	roundCounts := make(map[uint32]int)
+	for i := range p.states {
+		s := &p.states[i]
+		roundCounts[s.Round]++
+		if int(s.Round) == evalRound {
+			c.InEval++
+		}
+		if s.Active {
+			c.Active++
+			if s.Color <= 1 {
+				c.ColorCount[s.Color]++
+			}
+			d := int(s.ToRecruit)
+			if d >= 0 && d < len(c.ByToRecruit) {
+				c.ByToRecruit[d]++
+			}
+		}
+		if s.Recruiting {
+			c.Recruiting++
+		}
+	}
+	best, bestCount := uint32(0), -1
+	for r, n := range roundCounts {
+		c.RoundValues = append(c.RoundValues, r)
+		if n > bestCount || (n == bestCount && r < best) {
+			best, bestCount = r, n
+		}
+	}
+	sort.Slice(c.RoundValues, func(i, j int) bool { return c.RoundValues[i] < c.RoundValues[j] })
+	c.MajorityRound = best
+	c.WrongRound = c.Total - roundCounts[best]
+	return c
+}
+
+// ActiveFraction reports Active/Total, or 0 for an empty population
+// (Lemma 4's invariant is ActiveFraction ≤ 1/2).
+func (c Census) ActiveFraction() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Active) / float64(c.Total)
+}
+
+// ColorImbalance reports |#color0 − #color1| among active agents.
+func (c Census) ColorImbalance() int {
+	d := c.ColorCount[0] - c.ColorCount[1]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// String renders a one-line summary.
+func (c Census) String() string {
+	return fmt.Sprintf("total=%d active=%d (c0=%d c1=%d) recruiting=%d wrongRound=%d majRound=%d",
+		c.Total, c.Active, c.ColorCount[0], c.ColorCount[1],
+		c.Recruiting, c.WrongRound, c.MajorityRound)
+}
+
+// CountIf reports the number of agents satisfying pred. Adversary strategies
+// use it for targeting; it is O(n).
+func (p *Population) CountIf(pred func(agent.State) bool) int {
+	n := 0
+	for i := range p.states {
+		if pred(p.states[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// FindIf appends to dst the indices of up to limit agents satisfying pred,
+// scanning in container order, and returns the extended slice. A negative
+// limit means no limit.
+func (p *Population) FindIf(dst []int, limit int, pred func(agent.State) bool) []int {
+	for i := range p.states {
+		if limit >= 0 && len(dst) >= limit {
+			break
+		}
+		if pred(p.states[i]) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,174 @@
+// Package population implements the container of living agents and the
+// census used by tests, adversaries, and experiments.
+//
+// The model's population is an unordered multiset of agent states: agents
+// have no identifiers and cannot address one another (paper §2). The
+// container therefore stores states contiguously in arbitrary order and uses
+// swap-deletion; indices are only meaningful within a single round.
+package population
+
+import (
+	"fmt"
+
+	"popstab/internal/agent"
+)
+
+// Action is the per-agent outcome of one protocol step.
+type Action uint8
+
+// Possible actions. ActKeep is the zero value so that a cleared action
+// buffer defaults to keeping every agent.
+const (
+	// ActKeep leaves the agent as is.
+	ActKeep Action = iota
+	// ActDie removes the agent (Die() in the paper).
+	ActDie
+	// ActSplit duplicates the agent; the daughter inherits the agent's
+	// post-step state (Split() in the paper).
+	ActSplit
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActKeep:
+		return "keep"
+	case ActDie:
+		return "die"
+	case ActSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Population is the mutable set of living agents. It is not safe for
+// concurrent use; the simulator owns it on a single goroutine.
+type Population struct {
+	states []agent.State
+}
+
+// New returns a population of n agents in the all-zero initial state, as at
+// the onset of the system (paper §3: "Initially ... all variables are set to
+// zero").
+func New(n int) *Population {
+	return &Population{states: make([]agent.State, n)}
+}
+
+// FromStates builds a population from explicit states (for tests and
+// adversarial scenarios). The slice is copied.
+func FromStates(states []agent.State) *Population {
+	s := make([]agent.State, len(states))
+	copy(s, states)
+	return &Population{states: s}
+}
+
+// Len reports the number of living agents.
+func (p *Population) Len() int { return len(p.states) }
+
+// State returns a copy of agent i's state.
+func (p *Population) State(i int) agent.State { return p.states[i] }
+
+// Ref returns a pointer to agent i's state for in-place mutation by the
+// protocol step. The pointer is invalidated by any insertion or deletion.
+func (p *Population) Ref(i int) *agent.State { return &p.states[i] }
+
+// Insert adds an agent with the given state and returns its index.
+func (p *Population) Insert(s agent.State) int {
+	p.states = append(p.states, s)
+	return len(p.states) - 1
+}
+
+// DeleteSwap removes agent i by swapping in the last agent. Indices of other
+// agents except the last are preserved.
+func (p *Population) DeleteSwap(i int) {
+	last := len(p.states) - 1
+	p.states[i] = p.states[last]
+	p.states = p.states[:last]
+}
+
+// DeleteDescending removes the agents at the given indices, which MUST be
+// sorted in strictly descending order (so swap-deletion never disturbs a
+// pending index). It returns the number removed.
+func (p *Population) DeleteDescending(indices []int) int {
+	prev := -1
+	for _, i := range indices {
+		if prev != -1 && i >= prev {
+			panic("population: DeleteDescending indices not strictly descending")
+		}
+		prev = i
+		p.DeleteSwap(i)
+	}
+	return len(indices)
+}
+
+// Apply executes one action per agent in a single compaction pass. The
+// actions slice must have exactly Len() entries describing the outcome of
+// each agent's step. Daughters of splitting agents are appended after the
+// pass (they take no action this round). Returns the number of births and
+// deaths.
+func (p *Population) Apply(actions []Action) (births, deaths int) {
+	if len(actions) != len(p.states) {
+		panic(fmt.Sprintf("population: %d actions for %d agents", len(actions), len(p.states)))
+	}
+	w := 0
+	splits := 0
+	for i, act := range actions {
+		switch act {
+		case ActDie:
+			deaths++
+		case ActSplit:
+			splits++
+			p.states[w] = p.states[i]
+			w++
+		default:
+			p.states[w] = p.states[i]
+			w++
+		}
+	}
+	p.states = p.states[:w]
+	if splits > 0 {
+		// The compaction above is stable, so survivor k of the original
+		// order now sits at compacted index k. Walk the actions again,
+		// appending one daughter per split; daughters land after the
+		// compacted prefix and take no action this round.
+		r := 0
+		for _, act := range actions {
+			if act == ActDie {
+				continue
+			}
+			if act == ActSplit {
+				p.states = append(p.states, p.states[r])
+				births++
+			}
+			r++
+		}
+	}
+	return births, deaths
+}
+
+// ForEach invokes fn with each agent's index and a copy of its state.
+func (p *Population) ForEach(fn func(i int, s agent.State)) {
+	for i := range p.states {
+		fn(i, p.states[i])
+	}
+}
+
+// Clone returns a deep copy, used by experiments that replay from a common
+// prefix.
+func (p *Population) Clone() *Population {
+	return FromStates(p.states)
+}
+
+// ForceResize truncates or pads (with zero-state agents at round r) the
+// population to exactly n agents. Experiments use it to displace the
+// population for drift and recovery measurements (Lemmas 8 and 9); it is not
+// part of the model.
+func (p *Population) ForceResize(n int, round uint32) {
+	for len(p.states) > n {
+		p.DeleteSwap(len(p.states) - 1)
+	}
+	for len(p.states) < n {
+		p.Insert(agent.State{Round: round})
+	}
+}

@@ -1,0 +1,324 @@
+package population
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popstab/internal/agent"
+	"popstab/internal/prng"
+)
+
+func TestNewInitialState(t *testing.T) {
+	p := New(10)
+	if p.Len() != 10 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.ForEach(func(i int, s agent.State) {
+		if s != (agent.State{}) {
+			t.Errorf("agent %d not zero-initialized: %+v", i, s)
+		}
+	})
+}
+
+func TestFromStatesCopies(t *testing.T) {
+	src := []agent.State{{Round: 1}, {Round: 2}}
+	p := FromStates(src)
+	src[0].Round = 99
+	if p.State(0).Round != 1 {
+		t.Error("FromStates did not copy input")
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	p := New(3)
+	idx := p.Insert(agent.State{Round: 7})
+	if idx != 3 || p.Len() != 4 {
+		t.Fatalf("Insert idx=%d len=%d", idx, p.Len())
+	}
+	if p.State(3).Round != 7 {
+		t.Fatal("inserted state lost")
+	}
+	p.DeleteSwap(0)
+	if p.Len() != 3 {
+		t.Fatalf("len after delete = %d", p.Len())
+	}
+	// The former last element (round 7) must have been swapped into slot 0.
+	if p.State(0).Round != 7 {
+		t.Errorf("swap-delete did not move last element, slot 0 = %+v", p.State(0))
+	}
+}
+
+func TestDeleteDescending(t *testing.T) {
+	p := FromStates([]agent.State{
+		{Round: 0}, {Round: 1}, {Round: 2}, {Round: 3}, {Round: 4},
+	})
+	n := p.DeleteDescending([]int{4, 2, 0})
+	if n != 3 || p.Len() != 2 {
+		t.Fatalf("removed %d, len %d", n, p.Len())
+	}
+	// Survivors must be exactly rounds {1, 3} in some order.
+	got := map[uint32]bool{}
+	p.ForEach(func(_ int, s agent.State) { got[s.Round] = true })
+	if !got[1] || !got[3] || len(got) != 2 {
+		t.Errorf("survivors %v, want {1,3}", got)
+	}
+}
+
+func TestDeleteDescendingPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on ascending indices")
+		}
+	}()
+	p := New(5)
+	p.DeleteDescending([]int{1, 3})
+}
+
+func TestApplyKeepOnly(t *testing.T) {
+	p := New(5)
+	births, deaths := p.Apply(make([]Action, 5))
+	if births != 0 || deaths != 0 || p.Len() != 5 {
+		t.Fatalf("births=%d deaths=%d len=%d", births, deaths, p.Len())
+	}
+}
+
+func TestApplyDeathsAndSplits(t *testing.T) {
+	p := FromStates([]agent.State{
+		{Round: 0}, {Round: 1}, {Round: 2}, {Round: 3},
+	})
+	actions := []Action{ActSplit, ActDie, ActKeep, ActSplit}
+	births, deaths := p.Apply(actions)
+	if births != 2 || deaths != 1 {
+		t.Fatalf("births=%d deaths=%d", births, deaths)
+	}
+	if p.Len() != 5 { // 4 - 1 + 2
+		t.Fatalf("len = %d, want 5", p.Len())
+	}
+	// Survivor prefix keeps original order: rounds 0, 2, 3.
+	for i, want := range []uint32{0, 2, 3} {
+		if got := p.State(i).Round; got != want {
+			t.Errorf("slot %d round = %d, want %d", i, got, want)
+		}
+	}
+	// Daughters appended in split order: copies of rounds 0 and 3.
+	if p.State(3).Round != 0 || p.State(4).Round != 3 {
+		t.Errorf("daughters = %v, %v; want rounds 0 and 3", p.State(3), p.State(4))
+	}
+}
+
+func TestApplyAllDie(t *testing.T) {
+	p := New(4)
+	actions := []Action{ActDie, ActDie, ActDie, ActDie}
+	births, deaths := p.Apply(actions)
+	if births != 0 || deaths != 4 || p.Len() != 0 {
+		t.Fatalf("births=%d deaths=%d len=%d", births, deaths, p.Len())
+	}
+}
+
+func TestApplyPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched action slice")
+		}
+	}()
+	New(3).Apply(make([]Action, 2))
+}
+
+// TestApplyConservation is a property test: for any random action vector,
+// the resulting population size must be len − deaths + births, with deaths
+// and births matching the action counts.
+func TestApplyConservation(t *testing.T) {
+	src := prng.New(42)
+	f := func(nRaw uint8, seed uint16) bool {
+		n := int(nRaw%100) + 1
+		states := make([]agent.State, n)
+		for i := range states {
+			states[i].Round = uint32(i)
+		}
+		p := FromStates(states)
+		actions := make([]Action, n)
+		wantDie, wantSplit := 0, 0
+		for i := range actions {
+			switch src.Intn(3) {
+			case 0:
+				actions[i] = ActKeep
+			case 1:
+				actions[i] = ActDie
+				wantDie++
+			default:
+				actions[i] = ActSplit
+				wantSplit++
+			}
+		}
+		births, deaths := p.Apply(actions)
+		return births == wantSplit && deaths == wantDie &&
+			p.Len() == n-wantDie+wantSplit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApplySplitDaughterIdentity verifies every daughter is a bit-exact copy
+// of its parent's post-step state.
+func TestApplySplitDaughterIdentity(t *testing.T) {
+	states := []agent.State{
+		{Round: 10, Active: true, Color: 1, ToRecruit: 2},
+		{Round: 20},
+		{Round: 30, Active: true, Color: 0},
+	}
+	p := FromStates(states)
+	_, _ = p.Apply([]Action{ActSplit, ActKeep, ActSplit})
+	if p.Len() != 5 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if p.State(3) != states[0] {
+		t.Errorf("first daughter %+v != parent %+v", p.State(3), states[0])
+	}
+	if p.State(4) != states[2] {
+		t.Errorf("second daughter %+v != parent %+v", p.State(4), states[2])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New(3)
+	q := p.Clone()
+	p.Ref(0).Round = 42
+	if q.State(0).Round == 42 {
+		t.Error("Clone shares storage")
+	}
+	q.Insert(agent.State{})
+	if p.Len() != 3 {
+		t.Error("Clone insert affected original")
+	}
+}
+
+func TestForceResize(t *testing.T) {
+	p := New(10)
+	p.ForceResize(4, 0)
+	if p.Len() != 4 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	p.ForceResize(8, 5)
+	if p.Len() != 8 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	// Padding agents must carry the requested round.
+	if p.State(7).Round != 5 {
+		t.Errorf("padded agent round = %d, want 5", p.State(7).Round)
+	}
+}
+
+func TestCensusCounts(t *testing.T) {
+	p := FromStates([]agent.State{
+		{Round: 5, Active: true, Color: 0, Recruiting: true, ToRecruit: 3},
+		{Round: 5, Active: true, Color: 1},
+		{Round: 5},
+		{Round: 9}, // wrong round (eval round here)
+		{Round: 2}, // wrong round
+	})
+	c := p.TakeCensus(9, 6)
+	if c.Total != 5 || c.Active != 2 || c.Recruiting != 1 {
+		t.Errorf("census %+v", c)
+	}
+	if c.ColorCount[0] != 1 || c.ColorCount[1] != 1 {
+		t.Errorf("color counts %v", c.ColorCount)
+	}
+	if c.MajorityRound != 5 || c.WrongRound != 2 {
+		t.Errorf("majority=%d wrong=%d", c.MajorityRound, c.WrongRound)
+	}
+	if c.InEval != 1 {
+		t.Errorf("InEval = %d, want 1", c.InEval)
+	}
+	if c.ByToRecruit[3] != 1 {
+		t.Errorf("ByToRecruit = %v", c.ByToRecruit)
+	}
+	if len(c.RoundValues) != 3 {
+		t.Errorf("RoundValues = %v", c.RoundValues)
+	}
+}
+
+func TestCensusMajorityTieBreak(t *testing.T) {
+	p := FromStates([]agent.State{{Round: 3}, {Round: 1}})
+	c := p.TakeCensus(10, 2)
+	if c.MajorityRound != 1 {
+		t.Errorf("tie must break toward smaller round, got %d", c.MajorityRound)
+	}
+}
+
+func TestCensusDerived(t *testing.T) {
+	p := FromStates([]agent.State{
+		{Active: true, Color: 0},
+		{Active: true, Color: 0},
+		{Active: true, Color: 1},
+		{},
+	})
+	c := p.TakeCensus(10, 2)
+	if got := c.ActiveFraction(); got != 0.75 {
+		t.Errorf("ActiveFraction = %v", got)
+	}
+	if got := c.ColorImbalance(); got != 1 {
+		t.Errorf("ColorImbalance = %v", got)
+	}
+	empty := New(0).TakeCensus(10, 2)
+	if empty.ActiveFraction() != 0 {
+		t.Error("empty ActiveFraction must be 0")
+	}
+}
+
+func TestCountIfFindIf(t *testing.T) {
+	p := FromStates([]agent.State{
+		{Active: true}, {}, {Active: true}, {}, {Active: true},
+	})
+	isActive := func(s agent.State) bool { return s.Active }
+	if got := p.CountIf(isActive); got != 3 {
+		t.Errorf("CountIf = %d", got)
+	}
+	idx := p.FindIf(nil, 2, isActive)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Errorf("FindIf limit 2 = %v", idx)
+	}
+	idx = p.FindIf(nil, -1, isActive)
+	if len(idx) != 3 {
+		t.Errorf("FindIf unlimited = %v", idx)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[Action]string{ActKeep: "keep", ActDie: "die", ActSplit: "split", Action(9): "action(9)"}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	const n = 65536
+	p := New(n)
+	actions := make([]Action, n)
+	for i := range actions {
+		switch i % 100 {
+		case 0:
+			actions[i] = ActDie
+		case 1:
+			actions[i] = ActSplit
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(actions)
+		p.ForceResize(n, 0)
+		if len(actions) != p.Len() {
+			actions = actions[:p.Len()]
+		}
+	}
+}
+
+func BenchmarkTakeCensus(b *testing.B) {
+	p := New(65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.TakeCensus(100, 8)
+	}
+}

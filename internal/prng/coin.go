@@ -1,0 +1,52 @@
+package prng
+
+// BiasedCoin flips a coin that is 1 (true) with probability 2^-a, as produced
+// by the paper's Algorithm 4 (TossBiasedCoin): flip a unbiased coins and
+// report 1 iff all landed 1. The loop in the paper exists to bound agent
+// memory to 1+ceil(log a) bits; the distribution is exactly Pr[true] = 2^-a,
+// which we produce here from ceil(a/64) raw words.
+//
+// a <= 0 returns true deterministically (2^0 = 1), matching the degenerate
+// reading of the paper's loop bounds.
+func (src *Source) BiasedCoin(a int) bool {
+	if a <= 0 {
+		return true
+	}
+	for a > 64 {
+		if src.Uint64() != ^uint64(0) {
+			// At least one of these 64 coins was 0.
+			return false
+		}
+		a -= 64
+	}
+	mask := ^uint64(0) >> (64 - uint(a))
+	return src.Uint64()&mask == mask
+}
+
+// BiasedCoinSlow is the literal transcription of the paper's Algorithm 4:
+// c := 1; repeat a times { b <-$ {0,1}; if b == 0 { c := 0 } }; return c.
+// It consumes one word per flip and exists to cross-validate BiasedCoin in
+// tests; production code uses BiasedCoin.
+func (src *Source) BiasedCoinSlow(a int) bool {
+	c := true
+	for i := 0; i < a; i++ {
+		if !src.Bool() {
+			c = false
+		}
+	}
+	return c
+}
+
+// Binomial draws from Binomial(n, p) by explicit summation of Bernoulli
+// trials. It is O(n) and intended for test-time cross-validation and small n;
+// the simulator never draws binomials on the hot path (each agent flips its
+// own coin, as in the model).
+func (src *Source) Binomial(n int, p float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if src.Prob(p) {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,425 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of %d outputs", same, n)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	src := New(0)
+	var zeros int
+	for i := 0; i < 100; i++ {
+		if src.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 2 {
+		t.Fatalf("seed 0 produced %d zero outputs in 100 draws", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must differ from the parent's continuation.
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("parent and child streams matched on %d outputs", matches)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(9).Split()
+	c2 := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	src := New(3)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := src.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	src := New(11)
+	const buckets = 10
+	const draws = 100000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[src.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		// 5 sigma tolerance for binomial(draws, 1/buckets).
+		sigma := math.Sqrt(want * (1 - 1.0/buckets))
+		if math.Abs(float64(c)-want) > 5*sigma {
+			t.Errorf("bucket %d: count %d, want %.0f +- %.0f", b, c, want, 5*sigma)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(5)
+	for i := 0; i < 100000; i++ {
+		v := src.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	src := New(13)
+	const draws = 100000
+	ones := 0
+	for i := 0; i < draws; i++ {
+		if src.Bool() {
+			ones++
+		}
+	}
+	mean := float64(draws) / 2
+	sigma := math.Sqrt(float64(draws)) / 2
+	if math.Abs(float64(ones)-mean) > 5*sigma {
+		t.Fatalf("Bool bias: %d ones of %d", ones, draws)
+	}
+}
+
+func TestProbEdgeCases(t *testing.T) {
+	src := New(17)
+	for i := 0; i < 100; i++ {
+		if src.Prob(0) {
+			t.Fatal("Prob(0) returned true")
+		}
+		if !src.Prob(1) {
+			t.Fatal("Prob(1) returned false")
+		}
+		if src.Prob(-0.5) {
+			t.Fatal("Prob(-0.5) returned true")
+		}
+		if !src.Prob(1.5) {
+			t.Fatal("Prob(1.5) returned false")
+		}
+	}
+}
+
+func TestProbFrequency(t *testing.T) {
+	src := New(19)
+	const draws = 200000
+	const p = 0.3
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if src.Prob(p) {
+			hits++
+		}
+	}
+	mean := p * draws
+	sigma := math.Sqrt(draws * p * (1 - p))
+	if math.Abs(float64(hits)-mean) > 5*sigma {
+		t.Fatalf("Prob(%v): %d hits of %d, want about %.0f", p, hits, draws, mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	src := New(23)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := src.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	src := New(29)
+	const n = 8
+	const draws = 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[src.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	sigma := math.Sqrt(want * (1 - 1.0/n))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*sigma {
+			t.Errorf("Perm first element %d: count %d, want %.0f", i, c, want)
+		}
+	}
+}
+
+func TestPartialShuffleInt32(t *testing.T) {
+	src := New(31)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw) % (n + 10)
+		p := make([]int32, n)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		src.PartialShuffleInt32(p, k)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartialShuffleUniformSubset(t *testing.T) {
+	// For n=5, k=2 every element should appear in the prefix w.p. 2/5.
+	src := New(37)
+	const n, k, draws = 5, 2, 50000
+	var counts [n]int
+	p := make([]int32, n)
+	for i := 0; i < draws; i++ {
+		for j := range p {
+			p[j] = int32(j)
+		}
+		src.PartialShuffleInt32(p, k)
+		for j := 0; j < k; j++ {
+			counts[p[j]]++
+		}
+	}
+	want := float64(draws) * k / n
+	sigma := math.Sqrt(float64(draws) * (float64(k) / n) * (1 - float64(k)/n))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*sigma {
+			t.Errorf("element %d in prefix %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestSampleKProperties(t *testing.T) {
+	src := New(41)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		k := int(kRaw) % (n + 5)
+		s := src.SampleK(n, k)
+		wantLen := k
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(s) != wantLen {
+			return false
+		}
+		seen := make(map[int]bool, len(s))
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleKZero(t *testing.T) {
+	if s := New(1).SampleK(10, 0); len(s) != 0 {
+		t.Fatalf("SampleK(10,0) = %v, want empty", s)
+	}
+}
+
+func TestSampleKUniformSmallK(t *testing.T) {
+	// Floyd's path: k << n. Every index should be sampled equally often.
+	src := New(43)
+	const n, k, draws = 100, 3, 60000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		for _, v := range src.SampleK(n, k) {
+			counts[v]++
+		}
+	}
+	want := float64(draws) * k / n
+	sigma := math.Sqrt(float64(draws) * (float64(k) / n))
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*sigma {
+			t.Errorf("index %d sampled %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestBiasedCoinMatchesSlow(t *testing.T) {
+	// Same distribution, not same draws: compare frequencies.
+	for _, a := range []int{1, 2, 3, 5, 8} {
+		fast := New(uint64(100 + a))
+		slow := New(uint64(200 + a))
+		const draws = 1 << 18
+		fastHits, slowHits := 0, 0
+		for i := 0; i < draws; i++ {
+			if fast.BiasedCoin(a) {
+				fastHits++
+			}
+			if slow.BiasedCoinSlow(a) {
+				slowHits++
+			}
+		}
+		p := math.Pow(2, -float64(a))
+		mean := p * draws
+		sigma := math.Sqrt(draws * p * (1 - p))
+		if math.Abs(float64(fastHits)-mean) > 5*sigma {
+			t.Errorf("BiasedCoin(%d): %d hits, want about %.0f +- %.0f", a, fastHits, mean, 5*sigma)
+		}
+		if math.Abs(float64(slowHits)-mean) > 5*sigma {
+			t.Errorf("BiasedCoinSlow(%d): %d hits, want about %.0f +- %.0f", a, slowHits, mean, 5*sigma)
+		}
+	}
+}
+
+func TestBiasedCoinDegenerate(t *testing.T) {
+	src := New(1)
+	for i := 0; i < 10; i++ {
+		if !src.BiasedCoin(0) {
+			t.Fatal("BiasedCoin(0) must always be true")
+		}
+		if !src.BiasedCoin(-3) {
+			t.Fatal("BiasedCoin(-3) must always be true")
+		}
+	}
+}
+
+func TestBiasedCoinLargeExponent(t *testing.T) {
+	// a = 70 crosses the 64-bit word boundary; probability 2^-70 is
+	// effectively zero, so every draw must be false.
+	src := New(2)
+	for i := 0; i < 10000; i++ {
+		if src.BiasedCoin(70) {
+			t.Fatal("BiasedCoin(70) returned true (p = 2^-70)")
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	src := New(47)
+	const n, p, draws = 50, 0.4, 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		k := float64(src.Binomial(n, p))
+		sum += k
+		sumSq += k * k
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean-n*p) > 0.5 {
+		t.Errorf("Binomial mean %.3f, want %.1f", mean, float64(n)*p)
+	}
+	wantVar := n * p * (1 - p)
+	if math.Abs(variance-wantVar) > 1.5 {
+		t.Errorf("Binomial variance %.3f, want %.1f", variance, wantVar)
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	src := New(53)
+	const draws = 100000
+	ones := 0
+	for i := 0; i < draws; i++ {
+		b := src.Bit()
+		if b > 1 {
+			t.Fatalf("Bit returned %d", b)
+		}
+		ones += int(b)
+	}
+	sigma := math.Sqrt(float64(draws)) / 2
+	if math.Abs(float64(ones)-draws/2) > 5*sigma {
+		t.Fatalf("Bit bias: %d ones of %d", ones, draws)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= src.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	src := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= src.Intn(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkBiasedCoin(b *testing.B) {
+	src := New(1)
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = sink != src.BiasedCoin(9)
+	}
+	_ = sink
+}

@@ -1,0 +1,170 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popstab/internal/agent"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+	"popstab/internal/wire"
+)
+
+// arbitraryState builds an agent state from fuzz inputs, covering both
+// protocol-reachable and adversarially inserted (arbitrary) states.
+func arbitraryState(round uint16, active bool, color uint8, recruiting bool, depth uint8) agent.State {
+	s := agent.State{
+		Round:      uint32(round),
+		Active:     active,
+		Color:      color & 1,
+		Recruiting: recruiting,
+		ToRecruit:  int8(depth % 8),
+	}
+	return s
+}
+
+// arbitraryMessage builds a received message from fuzz inputs. Adversarially
+// inserted agents can cause any decodable message to arrive.
+func arbitraryMessage(bits uint8) wire.Message {
+	return wire.ThreeBit{}.Decode(bits & 7)
+}
+
+// TestStepPreservesInvariants: from ANY starting state and ANY received
+// message, one protocol step leaves the agent in a state a protocol-
+// following agent could legally hold: round in range, binary color,
+// recruiting only while active, bounded quota. This is the safety property
+// that lets Lemma 3's analysis treat inserted agents as merely desynced, not
+// corrupting.
+func TestStepPreservesInvariants(t *testing.T) {
+	p := testParams(t)
+	pr := MustNew(p)
+	src := prng.New(1000)
+	f := func(round uint16, active bool, color uint8, recruiting bool, depth uint8, msgBits uint8, hasNbr bool) bool {
+		s := arbitraryState(round, active, color, recruiting, depth)
+		pr.Step(&s, arbitraryMessage(msgBits), hasNbr, src)
+		if int(s.Round) >= p.T {
+			return false
+		}
+		if s.Color > 1 {
+			return false
+		}
+		if s.Recruiting && !s.Active {
+			return false
+		}
+		if s.ToRecruit < 0 || int(s.ToRecruit) > p.HalfLogN {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepAdvancesOrWrapsRound: every step moves the round counter forward
+// by exactly one (mod T), regardless of state or message. The epoch clock
+// never stalls or skips.
+func TestStepAdvancesOrWrapsRound(t *testing.T) {
+	p := testParams(t)
+	pr := MustNew(p)
+	src := prng.New(1001)
+	f := func(round uint16, active bool, color uint8, recruiting bool, msgBits uint8, hasNbr bool) bool {
+		s := arbitraryState(round, active, color, recruiting, 0)
+		pr.sanitize(&s)
+		before := int(s.Round)
+		act := pr.Step(&s, arbitraryMessage(msgBits), hasNbr, src)
+		if act == population.ActDie {
+			return true // dead agents have no round
+		}
+		want := (before + 1) % p.T
+		return int(s.Round) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepSplitOnlyInEvaluation: ActSplit can only be produced in the
+// evaluation round — the protocol's only reproduction site (Algorithm 6).
+func TestStepSplitOnlyInEvaluation(t *testing.T) {
+	p := testParams(t)
+	pr := MustNew(p)
+	src := prng.New(1002)
+	f := func(round uint16, active bool, color uint8, recruiting bool, msgBits uint8, hasNbr bool) bool {
+		s := arbitraryState(round, active, color, recruiting, 0)
+		pr.sanitize(&s)
+		wasEval := s.InEvalPhase(p.T)
+		act := pr.Step(&s, arbitraryMessage(msgBits), hasNbr, src)
+		if act == population.ActSplit && !wasEval {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepDeathSites: deaths happen only from the consistency check (any
+// round) or a color mismatch in the evaluation round.
+func TestStepDeathSites(t *testing.T) {
+	p := testParams(t)
+	pr := MustNew(p)
+	src := prng.New(1003)
+	f := func(round uint16, active bool, color uint8, recruiting bool, msgBits uint8, hasNbr bool) bool {
+		s := arbitraryState(round, active, color, recruiting, 0)
+		pr.sanitize(&s)
+		wasEval := s.InEvalPhase(p.T)
+		msg := arbitraryMessage(msgBits)
+		act := pr.Step(&s, msg, hasNbr, src)
+		if act != population.ActDie {
+			return true
+		}
+		if !hasNbr {
+			return false // no interaction, no death
+		}
+		consistency := wasEval != msg.InEvalPhase
+		evalMismatch := wasEval && msg.InEvalPhase && msg.Active && msg.Color != color&1
+		return consistency || evalMismatch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepDeterministicGivenStream: identical inputs and PRNG state yield
+// identical outputs — the replay guarantee experiments rely on.
+func TestStepDeterministicGivenStream(t *testing.T) {
+	p := testParams(t)
+	f := func(seed uint64, round uint16, active bool, color uint8, msgBits uint8, hasNbr bool) bool {
+		pr1, pr2 := MustNew(p), MustNew(p)
+		s1 := arbitraryState(round, active, color, false, 0)
+		s2 := s1
+		a1 := pr1.Step(&s1, arbitraryMessage(msgBits), hasNbr, prng.New(seed))
+		a2 := pr2.Step(&s2, arbitraryMessage(msgBits), hasNbr, prng.New(seed))
+		return a1 == a2 && s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalAlwaysResets: whatever happens in the evaluation round, a
+// surviving agent leaves it deactivated with a wrapped round counter.
+func TestEvalAlwaysResets(t *testing.T) {
+	p := testParams(t)
+	pr := MustNew(p)
+	src := prng.New(1004)
+	f := func(active bool, color uint8, recruiting bool, msgBits uint8, hasNbr bool) bool {
+		s := arbitraryState(uint16(p.T-1), active, color, recruiting, 3)
+		act := pr.Step(&s, arbitraryMessage(msgBits), hasNbr, src)
+		if act == population.ActDie {
+			return true
+		}
+		return !s.Active && !s.Recruiting && s.Color == agent.ColorNone &&
+			s.ToRecruit == 0 && s.Round == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,309 @@
+// Package rogue implements the paper's §1.2 extension ("Adversarial
+// insertions"): an adversary that inserts agents running arbitrary
+// *malicious programs* rather than protocol-following agents with bad state.
+//
+// The paper observes that plain population stability is impossible in this
+// model — a malicious agent can simply ignore everyone and replicate at
+// every opportunity — but that the protocol "can be extended to achieve
+// population stability even if the adversary is allowed to insert agents
+// that execute arbitrary malicious programs, as long as there is a bound on
+// how frequently malicious agents can replicate and an agent is able to
+// detect when it encounters an agent whose program is different from its
+// own", given the added capability for agents to remove agents they
+// encounter.
+//
+// This package models exactly that setting:
+//
+//   - every agent carries a Program tag (honest or rogue);
+//   - rogue agents ignore the protocol and replicate once every
+//     ReplicateEvery rounds (the rate bound);
+//   - honest agents run the unmodified population stability protocol, but
+//     when matched with an agent of a different program they detect it with
+//     probability DetectProb and remove it (treating the interaction as ⊥
+//     for their own protocol step);
+//   - when detection fails, the honest agent processes the rogue's garbage
+//     message like any other (a zero message: inactive, not recruiting, not
+//     in the evaluation phase).
+//
+// The containment condition is a branching-process balance: a rogue doubles
+// every R rounds and survives each round with probability 1 − γ·h·DetectProb
+// (h = honest fraction), so its per-round log growth is
+// ln2/R + ln(1 − γ·h·DetectProb). Rogues die out when
+// R > R* = ln2 / (−ln(1 − γ·h·DetectProb)) and take over otherwise;
+// experiment E17 measures the threshold (R* ≈ 2.41 at γ = 1/4, detect = 1).
+package rogue
+
+import (
+	"errors"
+	"fmt"
+
+	"popstab/internal/agent"
+	"popstab/internal/match"
+	"popstab/internal/params"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+	"popstab/internal/protocol"
+	"popstab/internal/wire"
+)
+
+// Program identifies the code an agent runs. Detection compares Program
+// values; the adversary cannot forge the honest Program (the paper assumes
+// program difference is detectable on contact).
+type Program uint8
+
+// Programs.
+const (
+	// Honest runs the population stability protocol.
+	Honest Program = iota
+	// Rogue ignores the protocol and replicates at the bounded rate.
+	Rogue
+)
+
+// Agent is one member of the extended system: protocol state plus the
+// program tag and the rogue replication cooldown.
+type Agent struct {
+	// State is the protocol memory (meaningful for honest agents).
+	State agent.State
+	// Program tags the agent's code.
+	Program Program
+	// cooldown counts rounds until a rogue may replicate again.
+	cooldown uint32
+}
+
+// Config assembles the extended simulation.
+type Config struct {
+	// Params parameterizes the honest protocol.
+	Params params.Params
+	// ReplicateEvery is the rogue replication period R ≥ 1 (the model's
+	// rate bound: at most one replication per R rounds per rogue).
+	ReplicateEvery int
+	// DetectProb is the probability an honest agent recognizes a foreign
+	// program on contact (the paper's assumption is 1; lower values model
+	// imperfect detection).
+	DetectProb float64
+	// InitialRogues seeds the system with this many rogue agents.
+	InitialRogues int
+	// RoguesPerEpoch inserts this many additional rogues at every honest
+	// epoch boundary (continuous infiltration).
+	RoguesPerEpoch int
+	// Scheduler defaults to the uniform γ-matching from Params.
+	Scheduler match.Scheduler
+	// Seed derives all randomness.
+	Seed uint64
+}
+
+// Stats accumulates extension-specific event counts.
+type Stats struct {
+	// RogueKills counts rogues removed by honest agents.
+	RogueKills uint64
+	// RogueSplits counts rogue replications.
+	RogueSplits uint64
+	// FailedDetections counts contacts where a rogue went unnoticed
+	// (detection never false-positives in this model, so honest agents are
+	// never removed by the guard).
+	FailedDetections uint64
+}
+
+// Engine drives the extended system. Not safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	proto  *protocol.Protocol
+	agents []Agent
+	sched  match.Scheduler
+
+	protoSrc *prng.Source
+	schedSrc *prng.Source
+
+	pairing match.Pairing
+	msgs    []uint8
+	kill    []bool
+	acts    []action
+
+	round uint64
+	stats Stats
+}
+
+// action is the per-agent fate within one extended round.
+type action uint8
+
+const (
+	actKeep action = iota
+	actDie
+	actSplit
+)
+
+// New validates cfg and builds the engine with Params.N honest agents plus
+// InitialRogues rogues.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("rogue: %w", err)
+	}
+	if cfg.ReplicateEvery < 1 {
+		return nil, errors.New("rogue: ReplicateEvery must be >= 1")
+	}
+	if cfg.DetectProb < 0 || cfg.DetectProb > 1 {
+		return nil, fmt.Errorf("rogue: DetectProb %v outside [0, 1]", cfg.DetectProb)
+	}
+	if cfg.InitialRogues < 0 || cfg.RoguesPerEpoch < 0 {
+		return nil, errors.New("rogue: negative rogue counts")
+	}
+	if cfg.Scheduler == nil {
+		u, err := match.NewUniform(cfg.Params.Gamma)
+		if err != nil {
+			return nil, fmt.Errorf("rogue: %w", err)
+		}
+		cfg.Scheduler = u
+	}
+	pr, err := protocol.New(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("rogue: %w", err)
+	}
+	root := prng.New(cfg.Seed)
+	e := &Engine{
+		cfg:      cfg,
+		proto:    pr,
+		sched:    cfg.Scheduler,
+		protoSrc: root.Split(),
+		schedSrc: root.Split(),
+	}
+	e.agents = make([]Agent, 0, cfg.Params.N+cfg.InitialRogues)
+	for i := 0; i < cfg.Params.N; i++ {
+		e.agents = append(e.agents, Agent{})
+	}
+	for i := 0; i < cfg.InitialRogues; i++ {
+		e.agents = append(e.agents, e.newRogue())
+	}
+	return e, nil
+}
+
+// newRogue builds a fresh rogue agent with a full replication cooldown.
+func (e *Engine) newRogue() Agent {
+	return Agent{Program: Rogue, cooldown: uint32(e.cfg.ReplicateEvery)}
+}
+
+// Stats returns the accumulated extension counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Size reports the total number of agents.
+func (e *Engine) Size() int { return len(e.agents) }
+
+// Counts reports the honest and rogue populations.
+func (e *Engine) Counts() (honest, rogue int) {
+	for i := range e.agents {
+		if e.agents[i].Program == Rogue {
+			rogue++
+		} else {
+			honest++
+		}
+	}
+	return honest, rogue
+}
+
+// GlobalRound reports the number of completed rounds.
+func (e *Engine) GlobalRound() uint64 { return e.round }
+
+// RunRound executes one round of the extended system.
+func (e *Engine) RunRound() {
+	// Continuous infiltration at epoch boundaries.
+	t := uint64(e.cfg.Params.T)
+	if e.round%t == 0 && e.cfg.RoguesPerEpoch > 0 {
+		for i := 0; i < e.cfg.RoguesPerEpoch; i++ {
+			e.agents = append(e.agents, e.newRogue())
+		}
+	}
+
+	n := len(e.agents)
+	e.sched.Sample(n, e.schedSrc, &e.pairing)
+
+	if cap(e.msgs) < n {
+		e.msgs = make([]uint8, n)
+		e.kill = make([]bool, n)
+		e.acts = make([]action, n)
+	}
+	e.msgs = e.msgs[:n]
+	e.kill = e.kill[:n]
+	e.acts = e.acts[:n]
+	for i := 0; i < n; i++ {
+		e.kill[i] = false
+		e.acts[i] = actKeep
+		if e.agents[i].Program == Honest {
+			e.msgs[i] = e.proto.Compose(&e.agents[i].State)
+		} else {
+			// Rogues send garbage; a zero byte decodes to an inactive,
+			// non-recruiting, non-evaluating agent.
+			e.msgs[i] = 0
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		a := &e.agents[i]
+		j := e.pairing.Nbr[i]
+		hasNbr := j != match.Unmatched
+
+		if a.Program == Rogue {
+			// The malicious program: ignore everyone, replicate as often
+			// as the rate bound allows.
+			if a.cooldown > 0 {
+				a.cooldown--
+			}
+			if a.cooldown == 0 {
+				e.acts[i] = actSplit
+				a.cooldown = uint32(e.cfg.ReplicateEvery)
+				e.stats.RogueSplits++
+			}
+			continue
+		}
+
+		// Honest agent: detect and remove foreign programs.
+		if hasNbr && e.agents[j].Program != a.Program {
+			if e.protoSrc.Prob(e.cfg.DetectProb) {
+				e.kill[j] = true
+				e.stats.RogueKills++
+				// The interaction is consumed by the removal: the honest
+				// agent's own step sees no neighbor.
+				hasNbr = false
+			} else {
+				e.stats.FailedDetections++
+			}
+		}
+		var msg wire.Message
+		if hasNbr {
+			msg = e.proto.Decode(e.msgs[j])
+		}
+		switch e.proto.Step(&a.State, msg, hasNbr, e.protoSrc) {
+		case population.ActDie:
+			e.acts[i] = actDie
+		case population.ActSplit:
+			e.acts[i] = actSplit
+		}
+	}
+
+	e.apply()
+	e.round++
+}
+
+// apply executes kills, deaths and splits in one compaction pass. Removal by
+// an honest agent overrides a same-round split decision (the victim is gone
+// before it can divide).
+func (e *Engine) apply() {
+	w := 0
+	var births []Agent
+	for i := range e.agents {
+		if e.kill[i] || e.acts[i] == actDie {
+			continue
+		}
+		if e.acts[i] == actSplit {
+			births = append(births, e.agents[i])
+		}
+		e.agents[w] = e.agents[i]
+		w++
+	}
+	e.agents = append(e.agents[:w], births...)
+}
+
+// RunEpoch runs T rounds (one honest-protocol epoch).
+func (e *Engine) RunEpoch() {
+	for i := 0; i < e.cfg.Params.T; i++ {
+		e.RunRound()
+	}
+}

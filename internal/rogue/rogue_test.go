@@ -1,0 +1,213 @@
+package rogue
+
+import (
+	"testing"
+
+	"popstab/internal/params"
+)
+
+func fastParams(t testing.TB) params.Params {
+	t.Helper()
+	p, err := params.Derive(4096, params.WithTinner(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	p := fastParams(t)
+	cases := []Config{
+		{Params: params.Params{}, ReplicateEvery: 4},
+		{Params: p, ReplicateEvery: 0},
+		{Params: p, ReplicateEvery: 4, DetectProb: 1.5},
+		{Params: p, ReplicateEvery: 4, DetectProb: -0.1},
+		{Params: p, ReplicateEvery: 4, InitialRogues: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInitialComposition(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, ReplicateEvery: 4, DetectProb: 1, InitialRogues: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, rogues := e.Counts()
+	if honest != p.N || rogues != 32 {
+		t.Fatalf("composition %d/%d", honest, rogues)
+	}
+	if e.Size() != p.N+32 {
+		t.Fatalf("size %d", e.Size())
+	}
+}
+
+// TestUnboundedRogueTakesOver reproduces the paper's impossibility argument:
+// with no replication-rate bound (R = 1) and no detection, "malicious agents
+// would quickly replicate themselves out of control".
+func TestUnboundedRogueTakesOver(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, ReplicateEvery: 1, DetectProb: 0, InitialRogues: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12 && e.Size() < 4*p.N; i++ {
+		e.RunRound()
+	}
+	_, rogues := e.Counts()
+	if rogues < 3*p.N {
+		t.Errorf("unbounded rogues reached only %d after doubling rounds", rogues)
+	}
+}
+
+// TestContainmentWithDetection is the extension's positive claim: with the
+// rate bound R > 1/(γ·h) and exact detection, an initial rogue cohort is
+// culled and the honest population stays stable.
+func TestContainmentWithDetection(t *testing.T) {
+	p := fastParams(t)
+	// γ = 0.25, h ≈ 1 ⇒ cull rate ≈ 0.25/round; R = 16 replicates at
+	// 0.0625/round — well under the cull rate.
+	e, err := New(Config{Params: p, ReplicateEvery: 16, DetectProb: 1, InitialRogues: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 3; ep++ {
+		e.RunEpoch()
+	}
+	honest, rogues := e.Counts()
+	if rogues > 8 {
+		t.Errorf("rogues not contained: %d remain", rogues)
+	}
+	if honest < p.N/2 || honest > 2*p.N {
+		t.Errorf("honest population destabilized: %d", honest)
+	}
+	if e.Stats().RogueKills == 0 {
+		t.Error("no kills recorded")
+	}
+}
+
+// TestFastRogueWinsDespiteDetection: below the threshold (R too small) the
+// rogue birth rate outruns the cull rate even with perfect detection.
+func TestFastRogueWinsDespiteDetection(t *testing.T) {
+	p := fastParams(t)
+	// R = 2 ⇒ growth 0.5/round vs cull ≈ γ = 0.25/round.
+	e, err := New(Config{Params: p, ReplicateEvery: 2, DetectProb: 1, InitialRogues: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := 64
+	for i := 0; i < 60 && e.Size() < 4*p.N; i++ {
+		e.RunRound()
+	}
+	_, rogues := e.Counts()
+	if rogues <= start*4 {
+		t.Errorf("fast rogues did not grow: %d", rogues)
+	}
+}
+
+// TestContinuousInfiltrationSteadyState: rogues inserted every epoch are
+// culled continuously; the rogue population stays near insertion/cull
+// balance rather than accumulating.
+func TestContinuousInfiltrationSteadyState(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, ReplicateEvery: 16, DetectProb: 1,
+		RoguesPerEpoch: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRogues := 0
+	for ep := 0; ep < 5; ep++ {
+		e.RunEpoch()
+		if _, r := e.Counts(); r > maxRogues {
+			maxRogues = r
+		}
+	}
+	// 8 inserted per epoch, lifetime ≈ 1/γ = 4 rounds (plus replication
+	// slack): steady state well below one epoch's insertion.
+	if maxRogues > 64 {
+		t.Errorf("infiltration accumulated to %d rogues", maxRogues)
+	}
+	honest, _ := e.Counts()
+	if honest < p.N/2 || honest > 2*p.N {
+		t.Errorf("honest population destabilized: %d", honest)
+	}
+}
+
+// TestImperfectDetectionShiftsThreshold: halving DetectProb halves the cull
+// rate, so a replication rate contained at p=1 can win at low p.
+func TestImperfectDetectionShiftsThreshold(t *testing.T) {
+	p := fastParams(t)
+	const r = 8 // growth 0.125/round; cull at DetectProb=1 is ≈0.25, at 0.1 is ≈0.025
+	contained := func(detect float64) bool {
+		e, err := New(Config{Params: p, ReplicateEvery: r, DetectProb: detect,
+			InitialRogues: 64, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2*p.T && e.Size() < 3*p.N; i++ {
+			e.RunRound()
+		}
+		_, rogues := e.Counts()
+		return rogues < 64
+	}
+	if !contained(1.0) {
+		t.Error("R=8 not contained at perfect detection")
+	}
+	if contained(0.1) {
+		t.Error("R=8 contained even at 10% detection")
+	}
+}
+
+// TestHonestProtocolUnperturbed: with zero rogues the extension engine must
+// leave the honest dynamics stable (sanity: the guard path is inert).
+func TestHonestProtocolUnperturbed(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, ReplicateEvery: 8, DetectProb: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 5; ep++ {
+		e.RunEpoch()
+	}
+	honest, rogues := e.Counts()
+	if rogues != 0 {
+		t.Errorf("rogues appeared from nowhere: %d", rogues)
+	}
+	if honest < p.N*3/4 || honest > p.N*5/4 {
+		t.Errorf("honest population drifted to %d", honest)
+	}
+	if e.Stats().RogueKills != 0 || e.Stats().FailedDetections != 0 {
+		t.Errorf("spurious guard events: %+v", e.Stats())
+	}
+}
+
+func BenchmarkRoundWithRogues(b *testing.B) {
+	p, err := params.Derive(4096, params.WithTinner(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{Params: p, ReplicateEvery: 16, DetectProb: 1, InitialRogues: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRound()
+	}
+}
+
+func TestGlobalRoundAdvances(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, ReplicateEvery: 8, DetectProb: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunEpoch()
+	if e.GlobalRound() != uint64(p.T) {
+		t.Errorf("global round %d", e.GlobalRound())
+	}
+}

@@ -1,0 +1,344 @@
+// Package sim implements the synchronous round engine of the population
+// model: it owns the population, samples the per-round communication
+// matching, delivers messages, applies protocol decisions, and gives the
+// adversary its budgeted turn.
+//
+// One round proceeds as (see DESIGN.md §5):
+//
+//  1. the adversary observes all agent memory and stages up to K
+//     insertions/deletions, which are applied before the matching is drawn
+//     (the adversary never knows the schedule in advance, §2);
+//  2. a random matching covering at least a γ fraction of agents is sampled;
+//  3. every agent composes its outgoing message from its pre-round state;
+//  4. messages are delivered simultaneously; unmatched agents receive ⊥;
+//  5. every agent executes one protocol step, yielding keep/die/split;
+//  6. deaths and births are applied in one pass; daughters act next round.
+//
+// The engine is single-goroutine and deterministic given its seed: protocol,
+// scheduler, and adversary draw from independent split-off streams, so
+// swapping the adversary never perturbs protocol coin flips (paired
+// comparison across experiment arms).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"popstab/internal/adversary"
+	"popstab/internal/agent"
+	"popstab/internal/match"
+	"popstab/internal/params"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+	"popstab/internal/wire"
+)
+
+// Stepper is the per-agent protocol the engine drives. internal/protocol
+// implements it for the paper's protocol; internal/baseline implements it
+// for the comparison protocols.
+type Stepper interface {
+	// EpochLen reports the protocol's epoch length in rounds (1 for
+	// epoch-free protocols).
+	EpochLen() int
+	// Compose encodes the message agent s sends this round.
+	Compose(s *agent.State) uint8
+	// Decode decodes a received message byte.
+	Decode(b uint8) wire.Message
+	// Step executes one round for one agent and reports its fate.
+	Step(s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) population.Action
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Params is the model parameterization (N, γ, α, epoch shape).
+	Params params.Params
+	// Protocol is the per-agent program. Required.
+	Protocol Stepper
+	// Scheduler samples each round's matching. Defaults to
+	// match.Uniform{Gamma: Params.Gamma}.
+	Scheduler match.Scheduler
+	// Adversary attacks each round. Defaults to adversary.None.
+	Adversary adversary.Adversary
+	// K is the adversary's per-round alteration budget.
+	K int
+	// Seed derives all randomness.
+	Seed uint64
+	// InitialSize overrides the starting population (default Params.N).
+	InitialSize int
+	// AdversaryAfterStep moves the adversary's turn to the end of the
+	// round, after protocol actions are applied (ablation A3). The default
+	// (false) gives the adversary its turn at the start of the round,
+	// before the matching is sampled.
+	AdversaryAfterStep bool
+}
+
+// RoundReport summarizes one completed round.
+type RoundReport struct {
+	// Round is the global index of the completed round (0-based).
+	Round uint64
+	// SizeBefore and SizeAfter are the population sizes at the round's
+	// start (before the adversary) and end.
+	SizeBefore, SizeAfter int
+	// Births and Deaths count protocol splits and deaths (consistency
+	// deaths included).
+	Births, Deaths int
+	// AdvInserted and AdvDeleted count the adversary's alterations.
+	AdvInserted, AdvDeleted int
+}
+
+// EpochReport aggregates the rounds of one protocol epoch.
+type EpochReport struct {
+	// Epoch is the 0-based epoch index.
+	Epoch int
+	// StartSize and EndSize bracket the epoch.
+	StartSize, EndSize int
+	// MinSize and MaxSize are the extremes seen at round boundaries.
+	MinSize, MaxSize int
+	// Births, Deaths, AdvInserted, AdvDeleted are summed over the epoch.
+	Births, Deaths, AdvInserted, AdvDeleted int
+}
+
+// Delta reports the net population change over the epoch.
+func (e EpochReport) Delta() int { return e.EndSize - e.StartSize }
+
+// Engine drives one simulation. Create with New; not safe for concurrent
+// use.
+type Engine struct {
+	cfg   Config
+	pop   *population.Population
+	sched match.Scheduler
+	adv   adversary.Adversary
+
+	protoSrc *prng.Source
+	schedSrc *prng.Source
+	advSrc   *prng.Source
+
+	pairing match.Pairing
+	msgs    []uint8
+	actions []population.Action
+
+	round uint64
+}
+
+// NewFromPopulation builds an engine over an existing population, taking
+// ownership of it. Experiments use it to start from prepared states (e.g.
+// mid-epoch cluster configurations); cfg.InitialSize is ignored.
+func NewFromPopulation(cfg Config, pop *population.Population) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pop == nil {
+		return nil, errors.New("sim: nil population")
+	}
+	e.pop = pop
+	return e, nil
+}
+
+// New validates cfg and builds an engine with a fresh population of
+// InitialSize (default N) zero-state agents.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Protocol == nil {
+		return nil, errors.New("sim: Config.Protocol is required")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("sim: negative adversary budget %d", cfg.K)
+	}
+	if cfg.Scheduler == nil {
+		u, err := match.NewUniform(cfg.Params.Gamma)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		cfg.Scheduler = u
+	}
+	if cfg.Adversary == nil {
+		cfg.Adversary = adversary.None{}
+	}
+	size := cfg.InitialSize
+	if size == 0 {
+		size = cfg.Params.N
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("sim: negative initial size %d", size)
+	}
+	root := prng.New(cfg.Seed)
+	return &Engine{
+		cfg:      cfg,
+		pop:      population.New(size),
+		sched:    cfg.Scheduler,
+		adv:      cfg.Adversary,
+		protoSrc: root.Split(),
+		schedSrc: root.Split(),
+		advSrc:   root.Split(),
+	}, nil
+}
+
+// MustNew is New for known-valid configurations; it panics on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Population exposes the live population (owned by the engine).
+func (e *Engine) Population() *population.Population { return e.pop }
+
+// Size reports the current population size.
+func (e *Engine) Size() int { return e.pop.Len() }
+
+// GlobalRound reports the number of completed rounds.
+func (e *Engine) GlobalRound() uint64 { return e.round }
+
+// EpochIndex reports the current epoch number.
+func (e *Engine) EpochIndex() int {
+	return int(e.round / uint64(e.cfg.Protocol.EpochLen()))
+}
+
+// Params returns the engine's parameterization.
+func (e *Engine) Params() params.Params { return e.cfg.Params }
+
+// Census takes a population census using the protocol's epoch geometry.
+func (e *Engine) Census() population.Census {
+	return e.pop.TakeCensus(e.cfg.Protocol.EpochLen()-1, e.cfg.Params.HalfLogN)
+}
+
+// adversaryTurn gives the adversary its budgeted turn and applies the staged
+// alterations.
+func (e *Engine) adversaryTurn(rep *RoundReport) {
+	if e.cfg.K <= 0 {
+		return
+	}
+	budget := adversary.NewBudget(e.cfg.K, e.pop.Len(), e.cfg.Protocol.EpochLen())
+	e.adv.Act(engineView{e}, budget, e.advSrc)
+	rep.AdvDeleted += e.pop.DeleteDescending(budget.Deletions())
+	for _, s := range budget.Inserts() {
+		e.pop.Insert(s)
+	}
+	rep.AdvInserted += len(budget.Inserts())
+}
+
+// RunRound executes one full round and reports it.
+func (e *Engine) RunRound() RoundReport {
+	rep := RoundReport{Round: e.round, SizeBefore: e.pop.Len()}
+
+	// 1. Adversary turn (default timing: before the matching is sampled).
+	if !e.cfg.AdversaryAfterStep {
+		e.adversaryTurn(&rep)
+	}
+
+	n := e.pop.Len()
+
+	// 2. Matching.
+	e.sched.Sample(n, e.schedSrc, &e.pairing)
+
+	// 3. Compose messages from pre-round state.
+	if cap(e.msgs) < n {
+		e.msgs = make([]uint8, n)
+		e.actions = make([]population.Action, n)
+	}
+	e.msgs = e.msgs[:n]
+	e.actions = e.actions[:n]
+	for i := 0; i < n; i++ {
+		e.msgs[i] = e.cfg.Protocol.Compose(e.pop.Ref(i))
+	}
+
+	// 4–5. Deliver and step.
+	for i := 0; i < n; i++ {
+		j := e.pairing.Nbr[i]
+		var msg wire.Message
+		hasNbr := j != match.Unmatched
+		if hasNbr {
+			msg = e.cfg.Protocol.Decode(e.msgs[j])
+		}
+		e.actions[i] = e.cfg.Protocol.Step(e.pop.Ref(i), msg, hasNbr, e.protoSrc)
+	}
+
+	// 6. Apply fates.
+	rep.Births, rep.Deaths = e.pop.Apply(e.actions)
+
+	// Ablation timing: adversary acts after the protocol step.
+	if e.cfg.AdversaryAfterStep {
+		e.adversaryTurn(&rep)
+	}
+
+	rep.SizeAfter = e.pop.Len()
+	e.round++
+	return rep
+}
+
+// RunRounds executes n rounds, returning the last report.
+func (e *Engine) RunRounds(n int) RoundReport {
+	var rep RoundReport
+	for i := 0; i < n; i++ {
+		rep = e.RunRound()
+	}
+	return rep
+}
+
+// RunEpoch executes rounds until the next epoch boundary and aggregates
+// them. At a boundary it runs a full epoch.
+func (e *Engine) RunEpoch() EpochReport {
+	t := uint64(e.cfg.Protocol.EpochLen())
+	rep := EpochReport{
+		Epoch:     int(e.round / t),
+		StartSize: e.pop.Len(),
+		MinSize:   e.pop.Len(),
+		MaxSize:   e.pop.Len(),
+	}
+	for {
+		r := e.RunRound()
+		rep.Births += r.Births
+		rep.Deaths += r.Deaths
+		rep.AdvInserted += r.AdvInserted
+		rep.AdvDeleted += r.AdvDeleted
+		if r.SizeAfter < rep.MinSize {
+			rep.MinSize = r.SizeAfter
+		}
+		if r.SizeAfter > rep.MaxSize {
+			rep.MaxSize = r.SizeAfter
+		}
+		if e.round%t == 0 {
+			rep.EndSize = r.SizeAfter
+			return rep
+		}
+	}
+}
+
+// RunEpochs executes n epochs and returns their reports.
+func (e *Engine) RunEpochs(n int) []EpochReport {
+	out := make([]EpochReport, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, e.RunEpoch())
+	}
+	return out
+}
+
+// ForceResize displaces the population to exactly n agents (padding with
+// fresh agents carrying the correct round counter). Experiment machinery
+// for Lemmas 8 and 9; not part of the model.
+func (e *Engine) ForceResize(n int) {
+	round := uint32(e.round % uint64(e.cfg.Protocol.EpochLen()))
+	e.pop.ForceResize(n, round)
+}
+
+// engineView adapts the engine to adversary.View.
+type engineView struct{ e *Engine }
+
+var _ adversary.View = engineView{}
+
+func (v engineView) Len() int                  { return v.e.pop.Len() }
+func (v engineView) State(i int) agent.State   { return v.e.pop.State(i) }
+func (v engineView) Census() population.Census { return v.e.Census() }
+func (v engineView) GlobalRound() uint64       { return v.e.round }
+func (v engineView) EpochRound() int {
+	return int(v.e.round % uint64(v.e.cfg.Protocol.EpochLen()))
+}
+func (v engineView) Params() params.Params { return v.e.cfg.Params }
+func (v engineView) Find(dst []int, limit int, pred func(agent.State) bool) []int {
+	return v.e.pop.FindIf(dst, limit, pred)
+}

@@ -1,0 +1,241 @@
+// Package stats provides the statistical tools the experiment harness uses
+// to compare measured behavior against the paper's claims: summary
+// statistics, quantiles, concentration bounds, and log-log regression for
+// scaling exponents.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds streaming moments of a sample (Welford's algorithm), plus
+// extremes.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation in.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll folds a slice of observations in.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N reports the sample size.
+func (s *Summary) N() int { return s.n }
+
+// Mean reports the sample mean (0 for an empty sample).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var reports the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr reports the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Min and Max report the extremes (0 for an empty sample).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation.
+func (s *Summary) Max() float64 { return s.max }
+
+// String renders mean ± stderr [min, max] (n).
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.3f±%.3f [%.3f,%.3f] (n=%d)", s.Mean(), s.StdErr(), s.min, s.max, s.n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear interpolation
+// on the sorted sample. It copies xs. An empty sample returns 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// HoeffdingBound returns the two-sided Hoeffding deviation bound
+// Pr[|X̄ − E[X̄]| ≥ t] ≤ 2·exp(−2nt²/(b−a)²) for n samples in [a, b]:
+// the concentration inequality behind the paper's Lemma 9.
+func HoeffdingBound(n int, a, b, t float64) float64 {
+	if n <= 0 || b <= a || t <= 0 {
+		return 1
+	}
+	p := 2 * math.Exp(-2*float64(n)*t*t/((b-a)*(b-a)))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// HoeffdingRadius inverts HoeffdingBound: the deviation t such that n samples
+// in [a, b] stay within t of their mean with probability ≥ 1−delta.
+func HoeffdingRadius(n int, a, b, delta float64) float64 {
+	if n <= 0 || b <= a || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	return (b - a) * math.Sqrt(math.Log(2/delta)/(2*float64(n)))
+}
+
+// BinomialWilson returns the Wilson score interval for a binomial proportion:
+// k successes in n trials at ~95% confidence (z = 1.96).
+func BinomialWilson(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	radius := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-radius, center+radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// FitPowerLaw fits y = c·x^e by least squares in log-log space and returns
+// the exponent e, the coefficient c, and the R² of the log-log fit. Pairs
+// with non-positive coordinates are skipped. Used to verify scaling claims
+// like Lemma 7's per-epoch deviation Õ(√N) (exponent ≈ ½).
+func FitPowerLaw(xs, ys []float64) (exponent, coeff, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, fmt.Errorf("stats: mismatched lengths %d, %d", len(xs), len(ys))
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: %d positive points, need >= 2", len(lx))
+	}
+	slope, intercept, r := linreg(lx, ly)
+	return slope, math.Exp(intercept), r * r, nil
+}
+
+// linreg computes least-squares slope, intercept and correlation.
+func linreg(xs, ys []float64) (slope, intercept, r float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	dx := n*sxx - sx*sx
+	if dx == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / dx
+	intercept = (sy - slope*sx) / n
+	dy := n*syy - sy*sy
+	if dy <= 0 {
+		return slope, intercept, 1
+	}
+	r = (n*sxy - sx*sy) / math.Sqrt(dx*dy)
+	return slope, intercept, r
+}
+
+// Histogram buckets observations into k equal-width bins over [min, max].
+type Histogram struct {
+	// Lo and Hi bound the histogram range.
+	Lo, Hi float64
+	// Counts holds one bucket per bin plus underflow/overflow at the ends.
+	Counts []int
+}
+
+// NewHistogram builds a histogram with k bins over [lo, hi].
+func NewHistogram(lo, hi float64, k int) (*Histogram, error) {
+	if k <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: bad histogram [%v,%v)/%d", lo, hi, k)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, k+2)}, nil
+}
+
+// Add buckets one observation.
+func (h *Histogram) Add(x float64) {
+	k := len(h.Counts) - 2
+	switch {
+	case x < h.Lo:
+		h.Counts[0]++
+	case x >= h.Hi:
+		h.Counts[k+1]++
+	default:
+		bin := int(float64(k) * (x - h.Lo) / (h.Hi - h.Lo))
+		if bin >= k {
+			bin = k - 1
+		}
+		h.Counts[1+bin]++
+	}
+}
+
+// Total reports the number of observations added.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}

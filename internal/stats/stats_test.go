@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"popstab/internal/prng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{1, 2, 3, 4, 5})
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if math.Abs(s.Var()-2.5) > 1e-12 {
+		t.Errorf("Var = %v, want 2.5", s.Var())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("extremes %v, %v", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdErr()-math.Sqrt(2.5/5)) > 1e-12 {
+		t.Errorf("StdErr = %v", s.StdErr())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary nonzero")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(7)
+	if s.Var() != 0 {
+		t.Error("single-sample variance nonzero")
+	}
+	if s.Min() != 7 || s.Max() != 7 {
+		t.Error("single-sample extremes")
+	}
+}
+
+// TestSummaryMatchesNaive is a property test against the naive two-pass
+// formulas.
+func TestSummaryMatchesNaive(t *testing.T) {
+	src := prng.New(1)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Float64()*200 - 100
+		}
+		var s Summary
+		s.AddAll(xs)
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		wantVar := varSum / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-wantVar) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated input")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	if Median(xs) != 3 {
+		t.Error("Median")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+}
+
+func TestHoeffdingBound(t *testing.T) {
+	// Known value: n=100, range [0,1], t=0.1 → 2e^{-2} ≈ 0.2707.
+	got := HoeffdingBound(100, 0, 1, 0.1)
+	if math.Abs(got-2*math.Exp(-2)) > 1e-9 {
+		t.Errorf("HoeffdingBound = %v", got)
+	}
+	if HoeffdingBound(0, 0, 1, 0.1) != 1 {
+		t.Error("n=0 must return 1")
+	}
+	if HoeffdingBound(10, 1, 0, 0.1) != 1 {
+		t.Error("inverted range must return 1")
+	}
+	if HoeffdingBound(1000000, 0, 1, 0.5) > 1e-10 {
+		t.Error("huge n small bound")
+	}
+}
+
+func TestHoeffdingRadiusInverts(t *testing.T) {
+	n, a, b, delta := 500, -2.0, 3.0, 0.05
+	r := HoeffdingRadius(n, a, b, delta)
+	if p := HoeffdingBound(n, a, b, r); math.Abs(p-delta) > 1e-9 {
+		t.Errorf("bound at radius = %v, want %v", p, delta)
+	}
+	if !math.IsInf(HoeffdingRadius(0, 0, 1, 0.1), 1) {
+		t.Error("n=0 radius must be infinite")
+	}
+}
+
+func TestBinomialWilson(t *testing.T) {
+	lo, hi := BinomialWilson(50, 100)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("interval [%v,%v] excludes the point estimate", lo, hi)
+	}
+	if lo < 0.35 || hi > 0.65 {
+		t.Errorf("interval [%v,%v] too wide for n=100", lo, hi)
+	}
+	lo, hi = BinomialWilson(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Error("empty-trial interval")
+	}
+	lo, _ = BinomialWilson(0, 10)
+	if lo != 0 {
+		t.Errorf("k=0 lower bound %v", lo)
+	}
+	_, hi = BinomialWilson(10, 10)
+	if hi != 1 {
+		t.Errorf("k=n upper bound %v", hi)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	// y = 3·x^0.5 exactly.
+	xs := []float64{1, 4, 16, 64, 256}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Sqrt(x)
+	}
+	e, c, r2, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-0.5) > 1e-9 || math.Abs(c-3) > 1e-9 || r2 < 0.999999 {
+		t.Errorf("fit e=%v c=%v r2=%v", e, c, r2)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	xs := []float64{-1, 0, 2, 8}
+	ys := []float64{5, 5, 2, 4}
+	e, _, _, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fit over (2,2),(8,4): slope = log2/log4 = 0.5.
+	if math.Abs(e-0.5) > 1e-9 {
+		t.Errorf("exponent %v", e)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, _, _, err := FitPowerLaw([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, _, _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("accepted single point")
+	}
+	if _, _, _, err := FitPowerLaw([]float64{-1, -2}, []float64{1, 1}); err == nil {
+		t.Error("accepted all-non-positive xs")
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	src := prng.New(2)
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		x := math.Pow(2, float64(i%10)+1)
+		xs[i] = x
+		ys[i] = 2 * math.Pow(x, 1.5) * (1 + 0.05*(src.Float64()-0.5))
+	}
+	e, _, r2, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-1.5) > 0.05 {
+		t.Errorf("noisy exponent %v, want ≈1.5", e)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %v", r2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	// Underflow: -1. Bins: [0,2):2, [2,4):1, [4,6):0, [6,8):0, [8,10):1.
+	// Overflow: 10, 11.
+	want := []int{1, 2, 1, 0, 0, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("accepted empty range")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("accepted zero bins")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	if !strings.Contains(s.String(), "n=1") {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace records time series from simulations and exports them as
+// CSV or JSON for the experiment harness and the plotting-friendly outputs
+// of cmd/popsim and examples/sweep.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Series is one named sequence of (x, y) points, e.g. population size per
+// round.
+type Series struct {
+	// Name labels the series in exports.
+	Name string `json:"name"`
+	// Xs and Ys are the coordinates; always equal length.
+	Xs []float64 `json:"xs"`
+	Ys []float64 `json:"ys"`
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// Last returns the final point, or zeros for an empty series.
+func (s *Series) Last() (x, y float64) {
+	if len(s.Xs) == 0 {
+		return 0, 0
+	}
+	return s.Xs[len(s.Xs)-1], s.Ys[len(s.Ys)-1]
+}
+
+// Downsample returns a copy keeping every kth point (k ≥ 1), always
+// including the final point. Long round-level traces are downsampled before
+// export.
+func (s *Series) Downsample(k int) *Series {
+	if k <= 1 || s.Len() == 0 {
+		cp := &Series{Name: s.Name, Xs: append([]float64(nil), s.Xs...), Ys: append([]float64(nil), s.Ys...)}
+		return cp
+	}
+	out := &Series{Name: s.Name}
+	for i := 0; i < s.Len(); i += k {
+		out.Add(s.Xs[i], s.Ys[i])
+	}
+	if last := s.Len() - 1; last%k != 0 {
+		out.Add(s.Xs[last], s.Ys[last])
+	}
+	return out
+}
+
+// MinMaxY reports the extremes of Y, or zeros for an empty series.
+func (s *Series) MinMaxY() (lo, hi float64) {
+	if s.Len() == 0 {
+		return 0, 0
+	}
+	lo, hi = s.Ys[0], s.Ys[0]
+	for _, y := range s.Ys[1:] {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return lo, hi
+}
+
+// Recorder collects a set of series keyed by name, preserving insertion
+// order for stable exports.
+type Recorder struct {
+	order  []string
+	series map[string]*Series
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Series returns (creating if needed) the series with the given name.
+func (r *Recorder) Series(name string) *Series {
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Record appends a point to the named series.
+func (r *Recorder) Record(name string, x, y float64) {
+	r.Series(name).Add(x, y)
+}
+
+// Names lists the recorded series in insertion order.
+func (r *Recorder) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// WriteCSV emits all series in long format: series,x,y.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, name := range r.order {
+		s := r.series[name]
+		for i := range s.Xs {
+			rec := []string{
+				name,
+				strconv.FormatFloat(s.Xs[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Ys[i], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trace: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits all series as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	out := make([]*Series, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.series[name])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddLen(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	x, y := s.Last()
+	if x != 2 || y != 20 {
+		t.Errorf("Last = %v,%v", x, y)
+	}
+}
+
+func TestSeriesLastEmpty(t *testing.T) {
+	var s Series
+	if x, y := s.Last(); x != 0 || y != 0 {
+		t.Error("empty Last must be zeros")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	d := s.Downsample(3)
+	// Keeps 0, 3, 6, 9 — and 9 is the final point, already included.
+	wantXs := []float64{0, 3, 6, 9}
+	if len(d.Xs) != len(wantXs) {
+		t.Fatalf("downsampled to %v", d.Xs)
+	}
+	for i, want := range wantXs {
+		if d.Xs[i] != want {
+			t.Errorf("point %d x = %v, want %v", i, d.Xs[i], want)
+		}
+	}
+}
+
+func TestDownsampleIncludesFinal(t *testing.T) {
+	var s Series
+	for i := 0; i < 11; i++ {
+		s.Add(float64(i), 0)
+	}
+	d := s.Downsample(4)
+	// 0, 4, 8 then final 10 appended.
+	if got := d.Xs[len(d.Xs)-1]; got != 10 {
+		t.Errorf("final point %v, want 10", got)
+	}
+}
+
+func TestDownsampleIdentity(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	d := s.Downsample(1)
+	if d.Len() != 1 || d.Xs[0] != 1 {
+		t.Errorf("identity downsample changed series: %+v", d)
+	}
+	// Must be a copy.
+	d.Xs[0] = 99
+	if s.Xs[0] == 99 {
+		t.Error("Downsample shares storage")
+	}
+}
+
+func TestMinMaxY(t *testing.T) {
+	var s Series
+	if lo, hi := s.MinMaxY(); lo != 0 || hi != 0 {
+		t.Error("empty MinMaxY")
+	}
+	s.Add(0, 5)
+	s.Add(1, -2)
+	s.Add(2, 9)
+	lo, hi := s.MinMaxY()
+	if lo != -2 || hi != 9 {
+		t.Errorf("MinMaxY = %v,%v", lo, hi)
+	}
+}
+
+func TestRecorderOrderStable(t *testing.T) {
+	r := NewRecorder()
+	r.Record("b", 0, 1)
+	r.Record("a", 0, 2)
+	r.Record("b", 1, 3)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("Names = %v", names)
+	}
+	if r.Series("b").Len() != 2 {
+		t.Error("series b points lost")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("pop", 0, 4096)
+	r.Record("pop", 1, 4100)
+	r.Record("active", 0, 512)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "series" {
+		t.Error("missing header")
+	}
+	if rows[1][0] != "pop" || rows[1][2] != "4096" {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if rows[3][0] != "active" {
+		t.Errorf("row 3 = %v", rows[3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Record("pop", 0, 1)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []Series
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Name != "pop" || len(out[0].Ys) != 1 {
+		t.Errorf("decoded %+v", out)
+	}
+	if !strings.Contains(buf.String(), `"name"`) {
+		t.Error("JSON field tags missing")
+	}
+}

@@ -1,0 +1,154 @@
+// Package wire implements the message formats of the population stability
+// protocol.
+//
+// The paper's protocol (§3) has agents exchange four boolean values per
+// interaction: (inEvalPhase, active, color, recruiting). The proof of
+// Theorem 2 observes that only three bits are ever needed simultaneously and
+// gives an explicit three-bit encoding:
+//
+//   - inEvalPhase = 1: send {active, color} (recruiting is irrelevant in the
+//     evaluation round);
+//   - inEvalPhase = 0, recruiting = 1: send {color} (recruiting = 1 implies
+//     active = 1, so active is inferable);
+//   - inEvalPhase = 0, recruiting = 0: send {active} (color is only consumed
+//     from recruiting agents, so it is irrelevant).
+//
+// This package provides the logical Message value, the four-bit reference
+// codec, and the three-bit production codec. Protocol equivalence of the two
+// codecs is established by tests in internal/protocol.
+package wire
+
+// Message is the logical content of one agent-to-agent message. An agent that
+// is unmatched in a round receives no Message at all (the paper's ⊥); that
+// case is represented out of band by the hasNbr flag threaded through the
+// protocol, never by a Message value.
+type Message struct {
+	// InEvalPhase reports whether the sender is in the evaluation round of
+	// its epoch. Always transmitted.
+	InEvalPhase bool
+	// Active reports whether the sender has been activated (is a leader or
+	// was recruited) this epoch. In the three-bit codec it is transmitted
+	// explicitly or inferred from Recruiting.
+	Active bool
+	// Color is the sender's cluster color in {0,1}. Only meaningful when the
+	// sender is active; in the three-bit codec it is transmitted only when
+	// the receiver could act on it.
+	Color uint8
+	// Recruiting reports whether the sender is seeking to recruit in the
+	// current subphase. Only meaningful outside the evaluation round.
+	Recruiting bool
+}
+
+// Codec serializes Messages to small bit strings and back. Both codecs are
+// lossless with respect to every field the protocol reads; the three-bit
+// codec drops only fields the receiver provably ignores.
+type Codec interface {
+	// Bits reports the wire size of an encoded message in bits.
+	Bits() int
+	// Encode packs m into the low bits of the returned byte.
+	Encode(m Message) uint8
+	// Decode reconstructs the protocol-visible fields of a message.
+	Decode(b uint8) Message
+	// Name identifies the codec in experiment output.
+	Name() string
+}
+
+// FourBit is the reference codec: one bit per logical field.
+// Layout (LSB first): inEvalPhase, active, color, recruiting.
+type FourBit struct{}
+
+var _ Codec = FourBit{}
+
+// Bits reports 4.
+func (FourBit) Bits() int { return 4 }
+
+// Name reports "4bit".
+func (FourBit) Name() string { return "4bit" }
+
+// Encode packs all four fields.
+func (FourBit) Encode(m Message) uint8 {
+	var b uint8
+	if m.InEvalPhase {
+		b |= 1
+	}
+	if m.Active {
+		b |= 2
+	}
+	b |= (m.Color & 1) << 2
+	if m.Recruiting {
+		b |= 8
+	}
+	return b
+}
+
+// Decode unpacks all four fields.
+func (FourBit) Decode(b uint8) Message {
+	return Message{
+		InEvalPhase: b&1 != 0,
+		Active:      b&2 != 0,
+		Color:       (b >> 2) & 1,
+		Recruiting:  b&8 != 0,
+	}
+}
+
+// ThreeBit is the production codec from the proof of Theorem 2.
+// Layout (LSB first): bit0 = inEvalPhase; then
+//
+//	inEvalPhase=1: bit1 = active, bit2 = color
+//	inEvalPhase=0: bit1 = recruiting; bit2 = color if recruiting else active
+type ThreeBit struct{}
+
+var _ Codec = ThreeBit{}
+
+// Bits reports 3.
+func (ThreeBit) Bits() int { return 3 }
+
+// Name reports "3bit".
+func (ThreeBit) Name() string { return "3bit" }
+
+// Encode packs m into three bits, dropping exactly the fields the receiver
+// never reads in the corresponding protocol state.
+func (ThreeBit) Encode(m Message) uint8 {
+	var b uint8
+	if m.InEvalPhase {
+		b |= 1
+		if m.Active {
+			b |= 2
+		}
+		b |= (m.Color & 1) << 2
+		return b
+	}
+	if m.Recruiting {
+		b |= 2
+		b |= (m.Color & 1) << 2
+		return b
+	}
+	if m.Active {
+		b |= 4
+	}
+	return b
+}
+
+// Decode reconstructs the protocol-visible fields. Fields that were not
+// transmitted decode to the values the protocol's logic treats as equivalent:
+// a recruiting sender is necessarily active; a non-recruiting sender's color
+// decodes to 0 but is never consumed; an evaluating sender's recruiting flag
+// decodes to false but is never consumed.
+func (ThreeBit) Decode(b uint8) Message {
+	if b&1 != 0 {
+		return Message{
+			InEvalPhase: true,
+			Active:      b&2 != 0,
+			Color:       (b >> 2) & 1,
+		}
+	}
+	if b&2 != 0 {
+		// Recruiting implies active.
+		return Message{
+			Active:     true,
+			Color:      (b >> 2) & 1,
+			Recruiting: true,
+		}
+	}
+	return Message{Active: b&4 != 0}
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allMessages enumerates every logical message value.
+func allMessages() []Message {
+	var out []Message
+	for _, eval := range []bool{false, true} {
+		for _, active := range []bool{false, true} {
+			for _, color := range []uint8{0, 1} {
+				for _, rec := range []bool{false, true} {
+					out = append(out, Message{
+						InEvalPhase: eval,
+						Active:      active,
+						Color:       color,
+						Recruiting:  rec,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestFourBitRoundTrip(t *testing.T) {
+	c := FourBit{}
+	for _, m := range allMessages() {
+		got := c.Decode(c.Encode(m))
+		if got != m {
+			t.Errorf("round trip %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestFourBitEncodeInjective(t *testing.T) {
+	c := FourBit{}
+	seen := make(map[uint8]Message)
+	for _, m := range allMessages() {
+		b := c.Encode(m)
+		if prev, dup := seen[b]; dup {
+			t.Errorf("encoding collision: %+v and %+v both encode to %04b", prev, m, b)
+		}
+		seen[b] = m
+	}
+}
+
+func TestFourBitWidth(t *testing.T) {
+	c := FourBit{}
+	for _, m := range allMessages() {
+		if b := c.Encode(m); b >= 1<<4 {
+			t.Errorf("Encode(%+v) = %d exceeds 4 bits", m, b)
+		}
+	}
+	if c.Bits() != 4 {
+		t.Errorf("Bits() = %d, want 4", c.Bits())
+	}
+}
+
+func TestThreeBitWidth(t *testing.T) {
+	c := ThreeBit{}
+	for _, m := range allMessages() {
+		if b := c.Encode(m); b >= 1<<3 {
+			t.Errorf("Encode(%+v) = %d exceeds 3 bits", m, b)
+		}
+	}
+	if c.Bits() != 3 {
+		t.Errorf("Bits() = %d, want 3", c.Bits())
+	}
+}
+
+// validSender reports whether a message could be emitted by a protocol-
+// following agent: recruiting implies active and not in the evaluation round
+// (the evaluation round never recruits), and inactive agents carry color 0.
+func validSender(m Message) bool {
+	if m.Recruiting && !m.Active {
+		return false
+	}
+	if m.Recruiting && m.InEvalPhase {
+		return false
+	}
+	if !m.Active && m.Color != 0 {
+		return false
+	}
+	return true
+}
+
+// TestThreeBitPreservesProtocolFields verifies that for every message a
+// protocol-following agent can send, the three-bit codec preserves every
+// field the receiving agent's logic can consume:
+//
+//   - InEvalPhase always (round-consistency check);
+//   - Active always (recruitment and evaluation branches);
+//   - Recruiting outside the evaluation round (recruitment branch);
+//   - Color whenever the sender is recruiting (color inheritance) or in the
+//     evaluation round (color comparison).
+func TestThreeBitPreservesProtocolFields(t *testing.T) {
+	c := ThreeBit{}
+	for _, m := range allMessages() {
+		if !validSender(m) {
+			continue
+		}
+		got := c.Decode(c.Encode(m))
+		if got.InEvalPhase != m.InEvalPhase {
+			t.Errorf("%+v: InEvalPhase lost", m)
+		}
+		if got.Active != m.Active {
+			t.Errorf("%+v: Active lost (got %+v)", m, got)
+		}
+		if !m.InEvalPhase && got.Recruiting != m.Recruiting {
+			t.Errorf("%+v: Recruiting lost (got %+v)", m, got)
+		}
+		colorNeeded := m.InEvalPhase || m.Recruiting
+		if colorNeeded && got.Color != m.Color {
+			t.Errorf("%+v: Color lost (got %+v)", m, got)
+		}
+	}
+}
+
+func TestThreeBitDecodeTotal(t *testing.T) {
+	// Decoding arbitrary 3-bit patterns (e.g. from adversarially inserted
+	// agents) must be total and must respect the recruiting=>active
+	// invariant so downstream protocol logic stays coherent.
+	c := ThreeBit{}
+	for b := uint8(0); b < 1<<3; b++ {
+		m := c.Decode(b)
+		if m.Recruiting && !m.Active {
+			t.Errorf("Decode(%03b) = %+v violates recruiting => active", b, m)
+		}
+	}
+}
+
+func TestThreeBitDeterministic(t *testing.T) {
+	c := ThreeBit{}
+	f := func(eval, active, rec bool, color uint8) bool {
+		m := Message{InEvalPhase: eval, Active: active, Color: color & 1, Recruiting: rec}
+		return c.Encode(m) == c.Encode(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecNames(t *testing.T) {
+	if (FourBit{}).Name() != "4bit" {
+		t.Error("FourBit name")
+	}
+	if (ThreeBit{}).Name() != "3bit" {
+		t.Error("ThreeBit name")
+	}
+}

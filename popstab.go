@@ -1,0 +1,297 @@
+// Package popstab is a simulation library for the population stability
+// problem of Goldwasser, Ostrovsky, Scafuro and Sealfon (PODC 2018): a
+// system of Θ(log log N)-bit agents that replicate and self-destruct must
+// keep its population within [(1−α)N, (1+α)N] while a full-information
+// adversary inserts and deletes agents at a bounded rate.
+//
+// The package exposes:
+//
+//   - the paper's protocol (leader selection → recruitment trees →
+//     variance-encoded evaluation) and its failing baselines (§1.3.1);
+//   - the synchronous γ-matching communication model;
+//   - a library of adversary strategies, budgeted per the model;
+//   - the §1.2 extensions (malicious programs, geometric communication,
+//     clock drift);
+//   - the reproduction experiment suite (E1–E17, A1–A6).
+//
+// Quick start:
+//
+//	cfg := popstab.Config{N: 4096, Seed: 1}
+//	s, err := popstab.New(cfg)
+//	if err != nil { ... }
+//	for i := 0; i < 10; i++ {
+//		rep := s.RunEpoch()
+//		fmt.Println(rep.Epoch, rep.EndSize)
+//	}
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for measured-vs-paper
+// results.
+package popstab
+
+import (
+	"fmt"
+
+	"popstab/internal/adversary"
+	"popstab/internal/baseline"
+	"popstab/internal/match"
+	"popstab/internal/params"
+	"popstab/internal/population"
+	"popstab/internal/protocol"
+	"popstab/internal/sim"
+	"popstab/internal/wire"
+)
+
+// Re-exported model types. These aliases make the internal packages' types
+// part of the stable public surface without duplicating them.
+type (
+	// Params is the derived protocol parameterization (N, epoch shape,
+	// coin biases, γ, α).
+	Params = params.Params
+	// Adversary is an attack strategy; see the New*Adversary constructors.
+	Adversary = adversary.Adversary
+	// Scheduler samples each round's communication matching.
+	Scheduler = match.Scheduler
+	// RoundReport summarizes one completed round.
+	RoundReport = sim.RoundReport
+	// EpochReport aggregates one protocol epoch.
+	EpochReport = sim.EpochReport
+	// Census is an aggregate snapshot of the population.
+	Census = population.Census
+	// Counters accumulates protocol event counts (leaders, recruits,
+	// splits, deaths).
+	Counters = protocol.Counters
+)
+
+// ProtocolKind selects which per-agent program a Sim runs.
+type ProtocolKind int
+
+// Supported protocols.
+const (
+	// Paper is the population stability protocol (Algorithms 1–7); the
+	// default.
+	Paper ProtocolKind = iota
+	// Attempt1 is the non-interactive leader election baseline (§1.3.1).
+	Attempt1
+	// Attempt2 is the independent coloring baseline (§1.3.1).
+	Attempt2
+	// Empty is the do-nothing protocol.
+	Empty
+)
+
+// String names the protocol kind.
+func (k ProtocolKind) String() string {
+	switch k {
+	case Paper:
+		return "paper"
+	case Attempt1:
+		return "attempt1"
+	case Attempt2:
+		return "attempt2"
+	case Empty:
+		return "empty"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(k))
+	}
+}
+
+// ProtocolKindFromString parses a protocol name.
+func ProtocolKindFromString(s string) (ProtocolKind, error) {
+	switch s {
+	case "paper", "":
+		return Paper, nil
+	case "attempt1":
+		return Attempt1, nil
+	case "attempt2":
+		return Attempt2, nil
+	case "empty":
+		return Empty, nil
+	default:
+		return 0, fmt.Errorf("popstab: unknown protocol %q", s)
+	}
+}
+
+// Config assembles a simulation.
+type Config struct {
+	// N is the population target. Must be a power of four, ≥ 4096.
+	N int
+	// Tinner overrides the recruitment subphase length (0 = the paper's
+	// log²N). Must be ω(log N); see Params.
+	Tinner int
+	// Gamma is the matched fraction per round (0 = the paper's running
+	// example 1/4).
+	Gamma float64
+	// Alpha is the admissible interval half-width (0 = 0.5).
+	Alpha float64
+	// Protocol selects the per-agent program (default Paper).
+	Protocol ProtocolKind
+	// MessageBits selects the wire codec for the paper protocol: 3
+	// (default, Theorem 2's encoding) or 4 (the reference encoding).
+	MessageBits int
+	// Adversary attacks every round within budget K (nil = none).
+	Adversary Adversary
+	// K is the adversary's per-round alteration budget.
+	K int
+	// PerEpochBudget, when positive, paces the adversary so it spends
+	// roughly this many alterations per epoch (with K per action); this is
+	// the budget normalization the paper's lemmas use (K·T = Θ(N^{1/4})).
+	PerEpochBudget int
+	// Scheduler overrides the communication scheduler (nil = uniform
+	// γ-matching).
+	Scheduler Scheduler
+	// InitialSize overrides the starting population (0 = N).
+	InitialSize int
+	// Seed derives all randomness; runs are fully deterministic in it.
+	Seed uint64
+}
+
+// Sim is one deterministic simulation run.
+type Sim struct {
+	eng    *sim.Engine
+	proto  *protocol.Protocol // nil for baselines
+	params Params
+	kind   ProtocolKind
+}
+
+// New validates cfg and builds the simulation.
+func New(cfg Config) (*Sim, error) {
+	var opts []params.Option
+	if cfg.Tinner > 0 {
+		opts = append(opts, params.WithTinner(cfg.Tinner))
+	}
+	if cfg.Gamma > 0 {
+		opts = append(opts, params.WithGamma(cfg.Gamma))
+	}
+	if cfg.Alpha > 0 {
+		opts = append(opts, params.WithAlpha(cfg.Alpha))
+	}
+	p, err := params.Derive(cfg.N, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("popstab: %w", err)
+	}
+
+	s := &Sim{params: p, kind: cfg.Protocol}
+	var stepper sim.Stepper
+	switch cfg.Protocol {
+	case Paper:
+		var popts []protocol.Option
+		switch cfg.MessageBits {
+		case 0, 3:
+		case 4:
+			popts = append(popts, protocol.WithCodec(wire.FourBit{}))
+		default:
+			return nil, fmt.Errorf("popstab: unsupported message size %d bits", cfg.MessageBits)
+		}
+		pr, err := protocol.New(p, popts...)
+		if err != nil {
+			return nil, fmt.Errorf("popstab: %w", err)
+		}
+		s.proto = pr
+		stepper = pr
+	case Attempt1:
+		a, err := baseline.NewAttempt1(p)
+		if err != nil {
+			return nil, fmt.Errorf("popstab: %w", err)
+		}
+		stepper = a
+	case Attempt2:
+		a, err := baseline.NewAttempt2(p)
+		if err != nil {
+			return nil, fmt.Errorf("popstab: %w", err)
+		}
+		stepper = a
+	case Empty:
+		stepper = baseline.Empty{}
+	default:
+		return nil, fmt.Errorf("popstab: unknown protocol kind %d", int(cfg.Protocol))
+	}
+
+	adv := cfg.Adversary
+	k := cfg.K
+	if adv != nil && cfg.PerEpochBudget > 0 {
+		if k <= 0 {
+			k = 1
+		}
+		adv = adversary.NewPaced(adversary.PerEpoch(stepper.EpochLen(), cfg.PerEpochBudget, k), adv)
+	}
+
+	eng, err := sim.New(sim.Config{
+		Params:      p,
+		Protocol:    stepper,
+		Scheduler:   cfg.Scheduler,
+		Adversary:   adv,
+		K:           k,
+		Seed:        cfg.Seed,
+		InitialSize: cfg.InitialSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("popstab: %w", err)
+	}
+	s.eng = eng
+	return s, nil
+}
+
+// Params reports the derived parameterization.
+func (s *Sim) Params() Params { return s.params }
+
+// Kind reports which protocol the simulation runs.
+func (s *Sim) Kind() ProtocolKind { return s.kind }
+
+// Size reports the current population size.
+func (s *Sim) Size() int { return s.eng.Size() }
+
+// GlobalRound reports the number of completed rounds.
+func (s *Sim) GlobalRound() uint64 { return s.eng.GlobalRound() }
+
+// EpochLen reports the running protocol's epoch length in rounds.
+func (s *Sim) EpochLen() int { return s.protoEpochLen() }
+
+func (s *Sim) protoEpochLen() int {
+	if s.proto != nil {
+		return s.proto.EpochLen()
+	}
+	// Baselines: reconstruct from the engine's epoch index.
+	switch s.kind {
+	case Attempt1:
+		a, _ := baseline.NewAttempt1(s.params)
+		return a.EpochLen()
+	case Attempt2, Empty:
+		return 1
+	default:
+		return s.params.T
+	}
+}
+
+// RunRound executes one round.
+func (s *Sim) RunRound() RoundReport { return s.eng.RunRound() }
+
+// RunRounds executes n rounds, returning the final report.
+func (s *Sim) RunRounds(n int) RoundReport { return s.eng.RunRounds(n) }
+
+// RunEpoch executes rounds up to the next epoch boundary.
+func (s *Sim) RunEpoch() EpochReport { return s.eng.RunEpoch() }
+
+// RunEpochs executes n epochs and returns their reports.
+func (s *Sim) RunEpochs(n int) []EpochReport { return s.eng.RunEpochs(n) }
+
+// Census snapshots the population's aggregate state.
+func (s *Sim) Census() Census { return s.eng.Census() }
+
+// Counters exposes the paper protocol's event counters (nil for baselines).
+func (s *Sim) Counters() *Counters {
+	if s.proto == nil {
+		return nil
+	}
+	return s.proto.Counters()
+}
+
+// Displace forcibly resizes the population to n agents (experimental
+// machinery for drift/recovery studies; not part of the model).
+func (s *Sim) Displace(n int) { s.eng.ForceResize(n) }
+
+// InInterval reports whether the population currently lies within
+// [(1−α)N, (1+α)N].
+func (s *Sim) InInterval() bool {
+	lo := int(float64(s.params.N) * (1 - s.params.Alpha))
+	hi := int(float64(s.params.N) * (1 + s.params.Alpha))
+	return s.Size() >= lo && s.Size() <= hi
+}

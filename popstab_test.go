@@ -1,0 +1,256 @@
+package popstab_test
+
+import (
+	"strings"
+	"testing"
+
+	"popstab"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Params()
+	if p.N != 4096 || p.Tinner != 144 || p.Gamma != 0.25 || p.Alpha != 0.5 {
+		t.Errorf("defaults: %+v", p)
+	}
+	if s.Size() != 4096 {
+		t.Errorf("initial size %d", s.Size())
+	}
+	if s.Kind() != popstab.Paper {
+		t.Errorf("kind %v", s.Kind())
+	}
+	if !s.InInterval() {
+		t.Error("initial population outside interval")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []popstab.Config{
+		{N: 1000},                 // too small / not power of four
+		{N: 4096, MessageBits: 5}, // unsupported codec
+		{N: 4096, Tinner: 3},      // below ω(log N)
+		{N: 4096, Gamma: 2},       // invalid gamma
+		{N: 4096, Protocol: popstab.ProtocolKind(99)}, // unknown protocol
+	}
+	for i, cfg := range cases {
+		if _, err := popstab.New(cfg); err == nil {
+			t.Errorf("case %d: accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunEpochsStability(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := s.RunEpochs(10)
+	if len(reps) != 10 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	for _, r := range reps {
+		if r.MinSize < 2048 || r.MaxSize > 6144 {
+			t.Fatalf("population left the interval: %+v", r)
+		}
+	}
+	if !s.InInterval() {
+		t.Error("final population outside interval")
+	}
+	if s.GlobalRound() != uint64(10*s.EpochLen()) {
+		t.Errorf("global round %d", s.GlobalRound())
+	}
+}
+
+func TestCountersExposed(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunEpoch()
+	c := s.Counters()
+	if c == nil || c.Leaders == 0 {
+		t.Errorf("counters not populated: %+v", c)
+	}
+}
+
+func TestBaselineKinds(t *testing.T) {
+	for _, kind := range []popstab.ProtocolKind{popstab.Attempt1, popstab.Attempt2, popstab.Empty} {
+		s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 4, Protocol: kind})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		s.RunRounds(50)
+		if s.Kind() != kind {
+			t.Errorf("kind %v", s.Kind())
+		}
+		if kind != popstab.Attempt1 && s.EpochLen() != 1 {
+			t.Errorf("%v epoch len %d", kind, s.EpochLen())
+		}
+		if s.Counters() != nil {
+			t.Errorf("%v must not expose paper counters", kind)
+		}
+	}
+}
+
+func TestProtocolKindStrings(t *testing.T) {
+	cases := map[popstab.ProtocolKind]string{
+		popstab.Paper:    "paper",
+		popstab.Attempt1: "attempt1",
+		popstab.Attempt2: "attempt2",
+		popstab.Empty:    "empty",
+	}
+	for kind, want := range cases {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q", int(kind), kind.String())
+		}
+		parsed, err := popstab.ProtocolKindFromString(want)
+		if err != nil || parsed != kind {
+			t.Errorf("parse %q = %v, %v", want, parsed, err)
+		}
+	}
+	if _, err := popstab.ProtocolKindFromString("nope"); err == nil {
+		t.Error("parsed unknown protocol")
+	}
+	if def, err := popstab.ProtocolKindFromString(""); err != nil || def != popstab.Paper {
+		t.Error("empty string must default to paper")
+	}
+}
+
+func TestFourBitCodecConfig(t *testing.T) {
+	s3, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 5, MessageBits: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 5, MessageBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a := s3.RunRound()
+		b := s4.RunRound()
+		if a.SizeAfter != b.SizeAfter {
+			t.Fatalf("codec trajectories diverged at round %d", i)
+		}
+	}
+}
+
+func TestAdversaryByName(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Params()
+	for _, name := range popstab.AdversaryNames() {
+		adv, err := popstab.NewAdversaryByName(name, p)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if adv == nil {
+			t.Errorf("%s: nil adversary", name)
+		}
+	}
+	if _, err := popstab.NewAdversaryByName("bogus", p); err == nil {
+		t.Error("accepted bogus adversary name")
+	}
+}
+
+func TestAdversarialRun(t *testing.T) {
+	s, err := popstab.New(popstab.Config{
+		N: 4096, Tinner: 24, Seed: 7,
+		Adversary:      popstab.NewGreedy(),
+		K:              1,
+		PerEpochBudget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted, deleted := 0, 0
+	for _, rep := range s.RunEpochs(5) {
+		inserted += rep.AdvInserted
+		deleted += rep.AdvDeleted
+	}
+	if inserted+deleted == 0 {
+		t.Error("paced adversary never acted")
+	}
+	if inserted+deleted > 5*8+8 {
+		t.Errorf("adversary exceeded per-epoch budget: %d alterations in 5 epochs", inserted+deleted)
+	}
+	if !s.InInterval() {
+		t.Error("population left interval under budgeted adversary")
+	}
+}
+
+func TestDisplace(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Displace(3000)
+	if s.Size() != 3000 {
+		t.Errorf("size %d after Displace", s.Size())
+	}
+}
+
+func TestCensus(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunRounds(10)
+	c := s.Census()
+	if c.Total != s.Size() {
+		t.Errorf("census total %d != size %d", c.Total, s.Size())
+	}
+}
+
+func TestRecordEpochs(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := popstab.NewTraceRecorder()
+	reps := popstab.RecordEpochs(s, 3, rec)
+	if len(reps) != 3 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	names := rec.Names()
+	if len(names) != 3 {
+		t.Fatalf("series %v", names)
+	}
+	if rec.Series("population").Len() != 3 {
+		t.Error("population series incomplete")
+	}
+	_, last := rec.Series("population").Last()
+	if int(last) != reps[2].EndSize {
+		t.Errorf("last recorded %v != report %d", last, reps[2].EndSize)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := popstab.ExperimentIDs()
+	if len(ids) != 23 {
+		t.Fatalf("suite has %d experiments: %v", len(ids), ids)
+	}
+	title, claim, err := popstab.ExperimentInfo("E13")
+	if err != nil || title == "" || claim == "" {
+		t.Fatalf("ExperimentInfo: %q %q %v", title, claim, err)
+	}
+	if _, _, err := popstab.ExperimentInfo("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := popstab.RunExperiment("E99", popstab.ExperimentConfig{}); err == nil {
+		t.Error("unknown experiment ran")
+	}
+	// E13 is the cheapest experiment: run it through the facade.
+	res, err := popstab.RunExperiment("E13", popstab.ExperimentConfig{Scale: popstab.ScaleQuick, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "E13" || !strings.HasPrefix(res.Verdict, "REPRODUCED") {
+		t.Errorf("E13 result: %s / %s", res.ID, res.Verdict)
+	}
+}

@@ -1,0 +1,34 @@
+package popstab
+
+import (
+	"popstab/internal/trace"
+)
+
+// Tracing re-exports. A Recorder collects named time series (population per
+// epoch, births, deaths, …) and exports them as CSV or JSON; cmd/popsim and
+// examples/sweep build on it.
+type (
+	// TraceRecorder collects named series keyed by insertion order.
+	TraceRecorder = trace.Recorder
+	// TraceSeries is one named (x, y) sequence.
+	TraceSeries = trace.Series
+)
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// RecordEpochs runs n epochs on s, recording population/births/deaths series
+// into rec (series names "population", "births", "deaths", keyed by epoch
+// index), and returns the epoch reports.
+func RecordEpochs(s *Sim, n int, rec *TraceRecorder) []EpochReport {
+	reps := make([]EpochReport, 0, n)
+	for i := 0; i < n; i++ {
+		rep := s.RunEpoch()
+		x := float64(rep.Epoch)
+		rec.Record("population", x, float64(rep.EndSize))
+		rec.Record("births", x, float64(rep.Births))
+		rec.Record("deaths", x, float64(rep.Deaths))
+		reps = append(reps, rep)
+	}
+	return reps
+}
