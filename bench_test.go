@@ -65,10 +65,13 @@ func BenchmarkA5Geometric(b *testing.B)       { benchExperiment(b, "A5") }
 func BenchmarkA6ClockDrift(b *testing.B)      { benchExperiment(b, "A6") }
 
 // Simulator throughput: rounds and agent-steps per second across N.
+// workers = 0 means runtime.NumCPU() (the engine default); the *Workers1
+// variants pin the serial path so the parallel speedup is
+// agentsteps/s(default) / agentsteps/s(Workers1) on a multi-core machine.
 
-func benchRounds(b *testing.B, n int) {
+func benchRounds(b *testing.B, n, workers int) {
 	b.Helper()
-	sim, err := popstab.New(popstab.Config{N: n, Tinner: 2 * logOf(n), Seed: 1})
+	sim, err := popstab.New(popstab.Config{N: n, Tinner: 2 * logOf(n), Seed: 1, Workers: workers})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -79,11 +82,21 @@ func benchRounds(b *testing.B, n int) {
 		steps += sim.Size()
 	}
 	b.ReportMetric(float64(steps)/float64(b.N), "agents/round")
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(steps)/sec, "agentsteps/s")
+	}
 }
 
-func BenchmarkRoundN4096(b *testing.B)  { benchRounds(b, 4096) }
-func BenchmarkRoundN16384(b *testing.B) { benchRounds(b, 16384) }
-func BenchmarkRoundN65536(b *testing.B) { benchRounds(b, 65536) }
+func BenchmarkRoundN4096(b *testing.B)   { benchRounds(b, 4096, 0) }
+func BenchmarkRoundN16384(b *testing.B)  { benchRounds(b, 16384, 0) }
+func BenchmarkRoundN65536(b *testing.B)  { benchRounds(b, 65536, 0) }
+func BenchmarkRoundN262144(b *testing.B) { benchRounds(b, 262144, 0) }
+
+func BenchmarkRoundN1048576(b *testing.B) { benchRounds(b, 1048576, 0) }
+
+func BenchmarkRoundN65536Workers1(b *testing.B)   { benchRounds(b, 65536, 1) }
+func BenchmarkRoundN262144Workers1(b *testing.B)  { benchRounds(b, 262144, 1) }
+func BenchmarkRoundN1048576Workers1(b *testing.B) { benchRounds(b, 1048576, 1) }
 
 // BenchmarkEpochN4096 measures one full protocol epoch.
 func BenchmarkEpochN4096(b *testing.B) {

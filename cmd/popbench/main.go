@@ -7,9 +7,14 @@
 //	popbench -scale quick
 //	popbench -scale full -run E1,E7,E12
 //	popbench -scale full -markdown > results.md
+//	popbench -scale quick -json > results.json
+//
+// The -json form emits one machine-readable document (schema below) so CI
+// can track the verdict and per-experiment wall time across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +24,32 @@ import (
 
 	"popstab"
 )
+
+// jsonReport is the machine-readable output of a -json run. Fields are
+// stable: add, don't rename, so downstream perf tracking keeps parsing.
+type jsonReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Scale         string           `json:"scale"`
+	Seed          uint64           `json:"seed"`
+	Workers       int              `json:"workers"`
+	NumCPU        int              `json:"num_cpu"`
+	GoVersion     string           `json:"go_version"`
+	TotalMS       int64            `json:"total_ms"`
+	Failures      int              `json:"failures"`
+	Experiments   []jsonExperiment `json:"experiments"`
+}
+
+// jsonExperiment is one experiment's outcome and cost.
+type jsonExperiment struct {
+	ID         string                `json:"id"`
+	Title      string                `json:"title"`
+	Claim      string                `json:"claim"`
+	Verdict    string                `json:"verdict"`
+	Reproduced bool                  `json:"reproduced"`
+	ElapsedMS  int64                 `json:"elapsed_ms"`
+	Tables     []popstab.ResultTable `json:"tables,omitempty"`
+	Notes      []string              `json:"notes,omitempty"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -36,6 +67,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", runtime.NumCPU(), "trial-level parallelism")
 		list      = fs.Bool("list", false, "list experiments and exit")
 		markdown  = fs.Bool("markdown", false, "emit results as markdown")
+		asJSON    = fs.Bool("json", false, "emit one machine-readable JSON document")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +106,15 @@ func run(args []string) error {
 		elapsed           time.Duration
 	}
 	var summary []summaryRow
+	report := jsonReport{
+		SchemaVersion: 1,
+		Scale:         *scaleName,
+		Seed:          *seed,
+		Workers:       *workers,
+		NumCPU:        runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+	}
+	suiteStart := time.Now()
 	failures := 0
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -83,18 +124,44 @@ func run(args []string) error {
 			return err
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
-		if *markdown {
+		reproduced := strings.HasPrefix(res.Verdict, "REPRODUCED")
+		switch {
+		case *asJSON:
+			report.Experiments = append(report.Experiments, jsonExperiment{
+				ID:         res.ID,
+				Title:      res.Title,
+				Claim:      res.Claim,
+				Verdict:    res.Verdict,
+				Reproduced: reproduced,
+				ElapsedMS:  elapsed.Milliseconds(),
+				Tables:     res.Tables,
+				Notes:      res.Notes,
+			})
+		case *markdown:
 			printMarkdown(res, elapsed)
-		} else {
+		default:
 			fmt.Println(res.Render())
 			fmt.Printf("(%s in %s at scale %s)\n\n", res.ID, elapsed, *scaleName)
 		}
 		status := "reproduced"
-		if !strings.HasPrefix(res.Verdict, "REPRODUCED") {
+		if !reproduced {
 			failures++
 			status = "DEVIATION"
 		}
 		summary = append(summary, summaryRow{res.ID, res.Title, status, elapsed})
+	}
+	if *asJSON {
+		report.TotalMS = time.Since(suiteStart).Milliseconds()
+		report.Failures = failures
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		if failures > 0 {
+			return fmt.Errorf("%d experiment(s) did not reproduce", failures)
+		}
+		return nil
 	}
 	if len(summary) > 1 {
 		if *markdown {

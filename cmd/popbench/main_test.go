@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -27,5 +32,44 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-run", "E99"}); err == nil {
 		t.Error("accepted unknown experiment")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	// Capture stdout and validate the machine-readable document parses and
+	// carries the fields perf tracking depends on.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	// Drain concurrently: run() writes synchronously, so an undrained pipe
+	// would deadlock once output exceeds the pipe buffer.
+	outCh := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outCh <- b
+	}()
+	runErr := run([]string{"-scale", "quick", "-run", "E13", "-json"})
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	if runErr != nil {
+		t.Fatalf("run: %v (output %q)", runErr, out)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.SchemaVersion != 1 || rep.Scale != "quick" || rep.Failures != 0 {
+		t.Errorf("unexpected report header: %+v", rep)
+	}
+	if len(rep.Experiments) != 1 {
+		t.Fatalf("got %d experiments", len(rep.Experiments))
+	}
+	e := rep.Experiments[0]
+	if e.ID != "E13" || !e.Reproduced || e.Verdict == "" || e.ElapsedMS < 0 {
+		t.Errorf("unexpected experiment record: %+v", e)
 	}
 }

@@ -11,6 +11,8 @@ import (
 type (
 	// ExperimentResult is the rendered outcome of one experiment.
 	ExperimentResult = experiment.Result
+	// ResultTable is one rendered block of rows within an ExperimentResult.
+	ResultTable = experiment.Table
 	// ExperimentConfig parameterizes a suite run.
 	ExperimentConfig = experiment.Config
 )

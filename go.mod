@@ -1,0 +1,3 @@
+module popstab
+
+go 1.24

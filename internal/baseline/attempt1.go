@@ -44,6 +44,11 @@ import (
 // current sub-epoch; Active holds the running OR ("heard a 1" this
 // sub-epoch); ToRecruit counts sub-epochs in which a leader was heard.
 // Round is the epoch position.
+//
+// Attempt1 satisfies the sim.Stepper concurrency contract: its fields are
+// immutable after construction and Step touches only the agent's own state
+// and its private per-agent stream, so the parallel engine may shard it
+// freely.
 type Attempt1 struct {
 	p params.Params
 	// repeats is the number of amplification sub-epochs per epoch.

@@ -31,6 +31,10 @@ import (
 // observations made (0 or 1); Recruiting stores the first observed partner
 // color; Active marks an initialized window. Agents run their comparison
 // windows asynchronously — there are no epochs (EpochLen = 1).
+//
+// Attempt2 (and Empty below) satisfy the sim.Stepper concurrency contract:
+// configuration is immutable after construction and Step touches only the
+// agent's own state and its private per-agent stream.
 type Attempt2 struct {
 	p      params.Params
 	pSplit float64

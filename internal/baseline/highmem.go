@@ -20,10 +20,16 @@ import (
 // and collapses against an adversary that inserts agents with fabricated
 // identifier sets (arbitrary initial state!), illustrating why insertion
 // makes counting-based approaches fail.
+// HighMemory runs its own serial engine: the gossip phase is Θ(n·m) map
+// merging with cross-agent writes, so it does not fit the sharded
+// compose/step pipeline of internal/sim. Its decision phase does use the
+// same counter-based per-agent streams as the parallel engine (keyed on
+// round and agent slot), keeping decisions independent of iteration order.
 type HighMemory struct {
 	cfg    HighMemConfig
 	agents []hmAgent
 	src    *prng.Source
+	decKey uint64
 	advSrc *prng.Source
 	round  uint64
 	nextID uint64
@@ -72,6 +78,7 @@ func NewHighMemory(cfg HighMemConfig) (*HighMemory, error) {
 	}
 	root := prng.New(cfg.Seed)
 	h := &HighMemory{cfg: cfg, src: root.Split(), advSrc: root.Split()}
+	h.decKey = root.Split().Uint64()
 	h.agents = make([]hmAgent, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		h.agents = append(h.agents, h.newAgent())
@@ -159,20 +166,24 @@ func (h *HighMemory) decide() {
 	hi := n * (1 + h.cfg.Alpha/2)
 	survivors := h.agents[:0]
 	var births []hmAgent
+	var coin prng.Source
 	for i := range h.agents {
 		a := &h.agents[i]
+		// Per-agent counter stream: the correction coin depends only on
+		// (round, slot), not on how many coins earlier agents drew.
+		coin.SeedCounter(h.decKey, h.round, uint64(i))
 		est := float64(len(a.known))
 		switch {
 		case est < lo:
 			// Split with probability (N−est)/est so the expected post-step
 			// total returns to N when every agent sees the same estimate.
-			if h.src.Prob((n - est) / est) {
+			if coin.Prob((n - est) / est) {
 				births = append(births, h.newAgent())
 			}
 			survivors = append(survivors, *a)
 		case est > hi:
 			// Die with probability (est−N)/est.
-			if !h.src.Prob((est - n) / est) {
+			if !coin.Prob((est - n) / est) {
 				survivors = append(survivors, *a)
 			}
 		default:

@@ -45,7 +45,7 @@ func runA1(cfg Config) (*Result, error) {
 		}
 		paced := adversary.NewPaced(adversary.PerEpoch(p.T, budget, 1),
 			adversary.NewWrongRoundInserter(p.T/2))
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1, Adversary: paced})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1, Adversary: paced, Workers: 1})
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -118,7 +118,7 @@ func runA2(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +185,7 @@ func runA3(cfg Config) (*Result, error) {
 		}
 		paced := adversary.NewPaced(adversary.PerEpoch(p.T, p.MaxTolerableK(), 1), adversary.NewGreedy())
 		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1,
+			Workers:   1,
 			Adversary: paced, AdversaryAfterStep: after})
 		if err != nil {
 			return nil, err
@@ -257,7 +258,7 @@ func runA4(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, Scheduler: sched})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, Scheduler: sched, Workers: 1})
 		if err != nil {
 			return nil, err
 		}

@@ -57,11 +57,13 @@ func runE9(cfg Config) (*Result, error) {
 		outcomes[name] = outcome
 		table.AddRow(name, fmtI(k), outcome, fmtI(eps), fmtI(size))
 	}
-	record("none", 0, sim.Config{Params: p, Protocol: a1, Seed: cfg.Seed})
+	record("none", 0, sim.Config{Params: p, Protocol: a1, Seed: cfg.Seed, Workers: 1})
 	record("suppressor (insert heard=1)", 1, sim.Config{Params: p, Protocol: baseline.MustNewAttempt1(p),
-		Seed: cfg.Seed, K: 1, Adversary: baseline.NewAttempt1Suppressor(a1)})
+		Workers: 1,
+		Seed:    cfg.Seed, K: 1, Adversary: baseline.NewAttempt1Suppressor(a1)})
 	record("igniter (delete carriers)", p.MaxTolerableK(), sim.Config{Params: p, Protocol: baseline.MustNewAttempt1(p),
-		Seed: cfg.Seed, K: p.MaxTolerableK(), Adversary: baseline.NewAttempt1Igniter(a1)})
+		Workers: 1,
+		Seed:    cfg.Seed, K: p.MaxTolerableK(), Adversary: baseline.NewAttempt1Igniter(a1)})
 	res.Tables = append(res.Tables, table)
 	ok := outcomes["none"] == "stable" &&
 		outcomes["suppressor (insert heard=1)"] == "collapse" &&
@@ -118,10 +120,10 @@ func runE10(cfg Config) (*Result, error) {
 		return s.Mean(), s.Max()
 	}
 	a2Mean, a2Worst := measure(func(seed uint64) *sim.Engine {
-		return sim.MustNew(sim.Config{Params: p, Protocol: baseline.MustNewAttempt2(p), Seed: seed})
+		return sim.MustNew(sim.Config{Params: p, Protocol: baseline.MustNewAttempt2(p), Seed: seed, Workers: 1})
 	})
 	mainMean, mainWorst := measure(func(seed uint64) *sim.Engine {
-		return sim.MustNew(sim.Config{Params: p, Protocol: protocol.MustNew(p), Seed: seed})
+		return sim.MustNew(sim.Config{Params: p, Protocol: protocol.MustNew(p), Seed: seed, Workers: 1})
 	})
 	table.AddRow("attempt2", fmtF(a2Mean), fmtF(a2Worst), fmtF(a2Worst/float64(p.N)))
 	table.AddRow("main protocol", fmtF(mainMean), fmtF(mainWorst), fmtF(mainWorst/float64(p.N)))

@@ -22,6 +22,7 @@ func evalDriftAt(p params.Params, m int, gamma float64, trials int, cfg Config) 
 		pop := PreparedEvalRandomColors(p, m, leaders, src)
 		pr := protocol.MustNew(p)
 		eng, err := sim.NewFromPopulation(sim.Config{
+			Workers:   1,
 			Params:    p,
 			Protocol:  pr,
 			Seed:      src.Uint64(),
@@ -147,7 +148,7 @@ func runE8(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, InitialSize: start})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, InitialSize: start, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -224,6 +225,7 @@ func runE16(cfg Config) (*Result, error) {
 	// stays there (rather than drifting back up to N): the relaxation time
 	// Θ(m*/√N) epochs makes approach-from-N runs much longer.
 	eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed,
+		Workers:     1,
 		InitialSize: p.PredictedEquilibrium()})
 	if err != nil {
 		return nil, err

@@ -52,7 +52,7 @@ func runE2(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1, Adversary: paced})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1, Adversary: paced, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +113,7 @@ func runE3(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1, Adversary: paced})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1, Adversary: paced, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +175,7 @@ func runE4(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +238,7 @@ func runE5(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +305,7 @@ func runE6(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, Workers: 1})
 		if err != nil {
 			return nil, err
 		}

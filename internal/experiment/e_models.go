@@ -49,7 +49,7 @@ func runA5(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed})
+	eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, Workers: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +174,7 @@ func runA6(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := sim.New(sim.Config{Params: p, Protocol: stepper, Seed: cfg.Seed})
+		eng, err := sim.New(sim.Config{Params: p, Protocol: stepper, Seed: cfg.Seed, Workers: 1})
 		if err != nil {
 			return nil, err
 		}

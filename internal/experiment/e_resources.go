@@ -72,6 +72,7 @@ func runE13(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		eng, err := sim.New(sim.Config{Params: p, Protocol: pr, Seed: cfg.Seed, K: 1,
+			Workers:   1,
 			Adversary: adversary.NewWrongRoundInserter(p.T / 3)})
 		if err != nil {
 			return nil, err

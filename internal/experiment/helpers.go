@@ -69,7 +69,11 @@ func runStability(p params.Params, arm stabilityArm, epochs int, seed uint64, sc
 	if err != nil {
 		return stabilityOutcome{}, err
 	}
+	// Workers: 1 throughout the experiment suite: RunTrials already fans
+	// trials out across the CPUs, so per-engine sharding would only
+	// oversubscribe the scheduler. Engine output is identical either way.
 	eng, err := sim.New(sim.Config{
+		Workers:   1,
 		Params:    p,
 		Protocol:  pr,
 		Adversary: adv,

@@ -27,7 +27,12 @@ type Source struct {
 // used for seeding and for deriving child streams.
 func splitMix64(state *uint64) uint64 {
 	*state += 0x9e3779b97f4a7c15
-	z := *state
+	return mix64(*state)
+}
+
+// mix64 is the SplitMix64 output finalizer: a bijective avalanche mixer on
+// 64 bits. Counter-based seeding chains it to absorb key material.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
@@ -71,6 +76,43 @@ func (src *Source) Split() *Source {
 	// raw xoshiro state.
 	seed := src.Uint64()
 	return New(splitMix64(&seed))
+}
+
+// SeedCounter reinitializes src in place as the counter-based stream
+// identified by (key, hi, lo). Unlike Split, which derives streams
+// sequentially and therefore order-dependently, SeedCounter is a pure
+// function of its arguments: the stream for (key, round, slot) is the same
+// no matter how many other streams were derived before it or on which
+// goroutine. The parallel round engine keys one stream per (global round,
+// agent slot) pair so per-agent coin flips are independent of iteration
+// order and worker count (Philox/SplitMix-style counter PRNG).
+//
+// The three words are absorbed through a chain of bijective avalanche mixes
+// (multiplication by odd constants composed with the SplitMix64 finalizer),
+// then expanded to the four xoshiro256** state words with SplitMix64. The
+// call performs no allocation; a zero-value Source on the caller's stack may
+// be reseeded once per agent on the hot path.
+func (src *Source) SeedCounter(key, hi, lo uint64) {
+	sm := mix64(key + 0x9e3779b97f4a7c15)
+	sm = mix64(sm + hi*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
+	sm = mix64(sm + lo*0x2545f4914f6cdd1d + 0x632be59bd9b4e019)
+	for i := range src.s {
+		src.s[i] = splitMix64(&sm)
+	}
+	// Same all-zero-state guard as New; unreachable via SplitMix64 but kept
+	// for defense in depth.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// AtCounter returns the counter-based stream (key, hi, lo) by value; see
+// SeedCounter. Hot paths should keep one Source per worker and reseed it
+// with SeedCounter instead.
+func AtCounter(key, hi, lo uint64) Source {
+	var src Source
+	src.SeedCounter(key, hi, lo)
+	return src
 }
 
 // Intn returns a uniformly random int in [0, n). It panics if n <= 0, matching

@@ -22,6 +22,7 @@ package protocol
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"popstab/internal/agent"
 	"popstab/internal/params"
@@ -31,8 +32,11 @@ import (
 )
 
 // Counters accumulates per-run event counts for analysis and experiments.
-// The protocol increments them; callers read and reset them between
-// measurement windows. They are not part of any agent's state.
+// The protocol increments them atomically (Step may run concurrently across
+// agents under the parallel round engine); callers read and reset them
+// between measurement windows, outside any running round. They are not part
+// of any agent's state. Totals are deterministic across worker counts
+// because per-agent events are — only the increment order varies.
 type Counters struct {
 	// Leaders counts successful leader-selection coin flips.
 	Leaders uint64
@@ -64,7 +68,8 @@ func (c *Counters) String() string {
 
 // Protocol is the population stability protocol configured for a target size
 // N. It is safe to share across agents (all per-agent state lives in
-// agent.State) but not across goroutines, because of the counters.
+// agent.State) and across the engine's step workers: the configuration is
+// immutable after New and the counters are incremented atomically.
 type Protocol struct {
 	p            params.Params
 	codec        wire.Codec
@@ -169,7 +174,7 @@ func (pr *Protocol) Step(s *agent.State, nbr wire.Message, hasNbr bool, src *prn
 	// wrong round counter at their first contact with the majority, at the
 	// cost of the matched correct agent (Lemma 3 bounds the damage).
 	if !pr.noRoundCheck && hasNbr && s.InEvalPhase(pr.p.T) != nbr.InEvalPhase {
-		pr.stats.ConsistencyDeaths++
+		atomic.AddUint64(&pr.stats.ConsistencyDeaths, 1)
 		return population.ActDie
 	}
 
@@ -206,8 +211,8 @@ func (pr *Protocol) determineIfLeader(s *agent.State, src *prng.Source) {
 		s.Color = src.Bit()
 		s.Recruiting = true
 		s.ToRecruit = int8(pr.p.HalfLogN)
-		pr.stats.Leaders++
-		pr.stats.LeadersByColor[s.Color]++
+		atomic.AddUint64(&pr.stats.Leaders, 1)
+		atomic.AddUint64(&pr.stats.LeadersByColor[s.Color], 1)
 	} else {
 		s.Active = false
 		s.Color = agent.ColorNone
@@ -240,13 +245,13 @@ func (pr *Protocol) recruitmentStep(s *agent.State, nbr wire.Message, hasNbr boo
 				d = 0
 			}
 			s.ToRecruit = int8(d)
-			pr.stats.Recruits++
+			atomic.AddUint64(&pr.stats.Recruits, 1)
 		}
 	}
 	if pr.p.IsSubphaseBoundary(round) && s.Active {
 		if s.Recruiting {
 			// The agent failed to find an inactive agent all subphase.
-			pr.stats.RecruitMisses++
+			atomic.AddUint64(&pr.stats.RecruitMisses, 1)
 		}
 		s.Recruiting = true
 	}
@@ -262,11 +267,11 @@ func (pr *Protocol) evaluationStep(s *agent.State, nbr wire.Message, hasNbr bool
 	if nbr.Color == s.Color {
 		// c := TossBiasedCoin(log(√N/16)); if c = 0 then Split().
 		if !src.BiasedCoin(pr.p.SplitBiasExp) {
-			pr.stats.EvalSplits++
+			atomic.AddUint64(&pr.stats.EvalSplits, 1)
 			return population.ActSplit
 		}
 		return population.ActKeep
 	}
-	pr.stats.EvalDeaths++
+	atomic.AddUint64(&pr.stats.EvalDeaths, 1)
 	return population.ActDie
 }

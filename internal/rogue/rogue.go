@@ -36,6 +36,8 @@ package rogue
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"popstab/internal/agent"
 	"popstab/internal/match"
@@ -43,6 +45,7 @@ import (
 	"popstab/internal/population"
 	"popstab/internal/prng"
 	"popstab/internal/protocol"
+	"popstab/internal/sim"
 	"popstab/internal/wire"
 )
 
@@ -90,9 +93,15 @@ type Config struct {
 	Scheduler match.Scheduler
 	// Seed derives all randomness.
 	Seed uint64
+	// Workers sets the number of goroutines sharding the compose and step
+	// phases: 0 means runtime.NumCPU(), 1 forces the serial path. As in
+	// internal/sim, output is bit-identical across all worker counts.
+	Workers int
 }
 
-// Stats accumulates extension-specific event counts.
+// Stats accumulates extension-specific event counts. The engine increments
+// them atomically (the step phase may run concurrently across shards);
+// totals are deterministic across worker counts.
 type Stats struct {
 	// RogueKills counts rogues removed by honest agents.
 	RogueKills uint64
@@ -104,14 +113,20 @@ type Stats struct {
 	FailedDetections uint64
 }
 
-// Engine drives the extended system. Not safe for concurrent use.
+// Engine drives the extended system. Not safe for concurrent use by
+// callers; internally it shards the compose and step phases across
+// cfg.Workers goroutines with per-agent counter-based streams, exactly as
+// internal/sim does.
 type Engine struct {
-	cfg    Config
-	proto  *protocol.Protocol
-	agents []Agent
-	sched  match.Scheduler
+	cfg     Config
+	proto   *protocol.Protocol
+	agents  []Agent
+	sched   match.Scheduler
+	workers int
 
-	protoSrc *prng.Source
+	// protoKey keys the counter-based per-agent streams: agent slot i of
+	// global round r draws from prng stream (protoKey, r, i).
+	protoKey uint64
 	schedSrc *prng.Source
 
 	pairing match.Pairing
@@ -154,6 +169,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 		cfg.Scheduler = u
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("rogue: negative worker count %d", cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
 	pr, err := protocol.New(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("rogue: %w", err)
@@ -163,7 +185,8 @@ func New(cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		proto:    pr,
 		sched:    cfg.Scheduler,
-		protoSrc: root.Split(),
+		workers:  workers,
+		protoKey: root.Split().Uint64(),
 		schedSrc: root.Split(),
 	}
 	e.agents = make([]Agent, 0, cfg.Params.N+cfg.InitialRogues)
@@ -216,14 +239,35 @@ func (e *Engine) RunRound() {
 	e.sched.Sample(n, e.schedSrc, &e.pairing)
 
 	if cap(e.msgs) < n {
-		e.msgs = make([]uint8, n)
-		e.kill = make([]bool, n)
-		e.acts = make([]action, n)
+		c := n + n/2
+		e.msgs = make([]uint8, c)
+		e.kill = make([]bool, c)
+		e.acts = make([]action, c)
 	}
 	e.msgs = e.msgs[:n]
 	e.kill = e.kill[:n]
 	e.acts = e.acts[:n]
-	for i := 0; i < n; i++ {
+
+	// Compose and step via internal/sim's shared shard machinery: a
+	// barrier separates the phases because steps read neighbors’ composed
+	// messages, and each honest agent draws its detection coin and protocol
+	// coins from the counter-based stream (protoKey, round, slot), making
+	// the outcome independent of shard boundaries. Cross-shard writes are
+	// confined to kill[j], which only the unique matched neighbor of j
+	// writes and only the serial apply pass reads.
+	sim.ShardComposeStep(n, e.workers, e.composeRange, func(lo, hi int) {
+		var src prng.Source
+		e.stepRange(lo, hi, &src)
+	})
+
+	e.apply()
+	e.round++
+}
+
+// composeRange composes outgoing messages and clears fate scratch for
+// agents [lo, hi).
+func (e *Engine) composeRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
 		e.kill[i] = false
 		e.acts[i] = actKeep
 		if e.agents[i].Program == Honest {
@@ -234,8 +278,12 @@ func (e *Engine) RunRound() {
 			e.msgs[i] = 0
 		}
 	}
+}
 
-	for i := 0; i < n; i++ {
+// stepRange executes one round for agents [lo, hi), reseeding src per
+// honest agent (rogues consume no randomness).
+func (e *Engine) stepRange(lo, hi int, src *prng.Source) {
+	for i := lo; i < hi; i++ {
 		a := &e.agents[i]
 		j := e.pairing.Nbr[i]
 		hasNbr := j != match.Unmatched
@@ -249,37 +297,39 @@ func (e *Engine) RunRound() {
 			if a.cooldown == 0 {
 				e.acts[i] = actSplit
 				a.cooldown = uint32(e.cfg.ReplicateEvery)
-				e.stats.RogueSplits++
+				atomic.AddUint64(&e.stats.RogueSplits, 1)
 			}
 			continue
 		}
 
-		// Honest agent: detect and remove foreign programs.
+		src.SeedCounter(e.protoKey, e.round, uint64(i))
+
+		// Honest agent: detect and remove foreign programs. Program tags
+		// are immutable within a round, so reading the neighbor’s tag
+		// races with nothing; kill[j] has a unique writer (j’s matched
+		// neighbor).
 		if hasNbr && e.agents[j].Program != a.Program {
-			if e.protoSrc.Prob(e.cfg.DetectProb) {
+			if src.Prob(e.cfg.DetectProb) {
 				e.kill[j] = true
-				e.stats.RogueKills++
+				atomic.AddUint64(&e.stats.RogueKills, 1)
 				// The interaction is consumed by the removal: the honest
-				// agent's own step sees no neighbor.
+				// agent’s own step sees no neighbor.
 				hasNbr = false
 			} else {
-				e.stats.FailedDetections++
+				atomic.AddUint64(&e.stats.FailedDetections, 1)
 			}
 		}
 		var msg wire.Message
 		if hasNbr {
 			msg = e.proto.Decode(e.msgs[j])
 		}
-		switch e.proto.Step(&a.State, msg, hasNbr, e.protoSrc) {
+		switch e.proto.Step(&a.State, msg, hasNbr, src) {
 		case population.ActDie:
 			e.acts[i] = actDie
 		case population.ActSplit:
 			e.acts[i] = actSplit
 		}
 	}
-
-	e.apply()
-	e.round++
 }
 
 // apply executes kills, deaths and splits in one compaction pass. Removal by

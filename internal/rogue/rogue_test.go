@@ -211,3 +211,43 @@ func TestGlobalRoundAdvances(t *testing.T) {
 		t.Errorf("global round %d", e.GlobalRound())
 	}
 }
+
+// TestParallelDeterminism asserts the extended engine's trajectory
+// (population size, honest/rogue counts, stats) is bit-identical across
+// worker counts, mirroring internal/sim's golden determinism guarantee.
+func TestParallelDeterminism(t *testing.T) {
+	run := func(workers int) ([]int, Stats) {
+		e, err := New(Config{
+			Params:         fastParams(t),
+			ReplicateEvery: 4,
+			DetectProb:     0.8,
+			InitialRogues:  16,
+			RoguesPerEpoch: 2,
+			Seed:           77,
+			Workers:        workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sizes []int
+		for i := 0; i < 200; i++ {
+			e.RunRound()
+			h, r := e.Counts()
+			sizes = append(sizes, e.Size(), h, r)
+		}
+		return sizes, e.Stats()
+	}
+	wantSizes, wantStats := run(1)
+	for _, w := range []int{2, 8} {
+		gotSizes, gotStats := run(w)
+		for i := range wantSizes {
+			if gotSizes[i] != wantSizes[i] {
+				t.Fatalf("workers=%d: trajectory diverged at sample %d: %d != %d",
+					w, i, gotSizes[i], wantSizes[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("workers=%d: stats diverged: %+v != %+v", w, gotStats, wantStats)
+		}
+	}
+}

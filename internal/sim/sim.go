@@ -14,15 +14,24 @@
 //  5. every agent executes one protocol step, yielding keep/die/split;
 //  6. deaths and births are applied in one pass; daughters act next round.
 //
-// The engine is single-goroutine and deterministic given its seed: protocol,
-// scheduler, and adversary draw from independent split-off streams, so
+// The engine is deterministic given its seed: scheduler and adversary draw
+// from independent split-off streams, and every protocol coin flip comes
+// from a counter-based stream keyed on (seed, global round, agent slot), so
 // swapping the adversary never perturbs protocol coin flips (paired
-// comparison across experiment arms).
+// comparison across experiment arms) and per-agent randomness is
+// independent of iteration order. That order-independence is what lets the
+// Compose and Step phases shard across a worker pool (Config.Workers):
+// simulation output is bit-identical for every worker count, including the
+// serial Workers=1 path. The matching, apply, and adversary phases stay
+// serial — they are O(γn) or event-bound, and the adversary is sequential
+// by its budget semantics. See DESIGN.md §5 for the phase structure.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"popstab/internal/adversary"
 	"popstab/internal/agent"
@@ -36,6 +45,14 @@ import (
 // Stepper is the per-agent protocol the engine drives. internal/protocol
 // implements it for the paper's protocol; internal/baseline implements it
 // for the comparison protocols.
+//
+// Concurrency contract: when the engine runs with Workers > 1, Compose and
+// Step are invoked concurrently from multiple goroutines, each agent from
+// exactly one goroutine per round, with a barrier between the Compose and
+// Step phases. Implementations may freely mutate the *agent.State they are
+// handed but must keep any shared mutable state of their own (e.g. event
+// counters) race-free; the src passed to Step is a private per-agent stream
+// owned by the calling goroutine.
 type Stepper interface {
 	// EpochLen reports the protocol's epoch length in rounds (1 for
 	// epoch-free protocols).
@@ -70,6 +87,11 @@ type Config struct {
 	// (false) gives the adversary its turn at the start of the round,
 	// before the matching is sampled.
 	AdversaryAfterStep bool
+	// Workers sets the number of goroutines sharding the Compose and Step
+	// phases: 0 means runtime.NumCPU(), 1 forces the serial path, and
+	// negative values are rejected. Simulation output is bit-identical
+	// across all worker counts; Workers is purely a throughput knob.
+	Workers int
 }
 
 // RoundReport summarizes one completed round.
@@ -104,12 +126,15 @@ func (e EpochReport) Delta() int { return e.EndSize - e.StartSize }
 // Engine drives one simulation. Create with New; not safe for concurrent
 // use.
 type Engine struct {
-	cfg   Config
-	pop   *population.Population
-	sched match.Scheduler
-	adv   adversary.Adversary
+	cfg     Config
+	pop     *population.Population
+	sched   match.Scheduler
+	adv     adversary.Adversary
+	workers int
 
-	protoSrc *prng.Source
+	// protoKey keys the counter-based per-agent protocol streams: agent
+	// slot i of global round r draws from prng stream (protoKey, r, i).
+	protoKey uint64
 	schedSrc *prng.Source
 	advSrc   *prng.Source
 
@@ -164,13 +189,21 @@ func New(cfg Config) (*Engine, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("sim: negative initial size %d", size)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sim: negative worker count %d", cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
 	root := prng.New(cfg.Seed)
 	return &Engine{
 		cfg:      cfg,
 		pop:      population.New(size),
 		sched:    cfg.Scheduler,
 		adv:      cfg.Adversary,
-		protoSrc: root.Split(),
+		workers:  workers,
+		protoKey: root.Split().Uint64(),
 		schedSrc: root.Split(),
 		advSrc:   root.Split(),
 	}, nil
@@ -236,27 +269,11 @@ func (e *Engine) RunRound() RoundReport {
 	// 2. Matching.
 	e.sched.Sample(n, e.schedSrc, &e.pairing)
 
-	// 3. Compose messages from pre-round state.
-	if cap(e.msgs) < n {
-		e.msgs = make([]uint8, n)
-		e.actions = make([]population.Action, n)
-	}
-	e.msgs = e.msgs[:n]
-	e.actions = e.actions[:n]
-	for i := 0; i < n; i++ {
-		e.msgs[i] = e.cfg.Protocol.Compose(e.pop.Ref(i))
-	}
-
-	// 4–5. Deliver and step.
-	for i := 0; i < n; i++ {
-		j := e.pairing.Nbr[i]
-		var msg wire.Message
-		hasNbr := j != match.Unmatched
-		if hasNbr {
-			msg = e.cfg.Protocol.Decode(e.msgs[j])
-		}
-		e.actions[i] = e.cfg.Protocol.Step(e.pop.Ref(i), msg, hasNbr, e.protoSrc)
-	}
+	// 3–5. Compose from pre-round state, deliver, and step — sharded
+	// across the worker pool when the population is large enough to pay
+	// for it.
+	e.ensureScratch(n)
+	e.composeAndStep(n)
 
 	// 6. Apply fates.
 	rep.Births, rep.Deaths = e.pop.Apply(e.actions)
@@ -269,6 +286,92 @@ func (e *Engine) RunRound() RoundReport {
 	rep.SizeAfter = e.pop.Len()
 	e.round++
 	return rep
+}
+
+// ensureScratch sizes the msgs/actions buffers for n agents, growing with
+// 1.5× slack so a steadily growing population does not reallocate on every
+// round.
+func (e *Engine) ensureScratch(n int) {
+	if cap(e.msgs) < n {
+		c := n + n/2
+		e.msgs = make([]uint8, c)
+		e.actions = make([]population.Action, c)
+	}
+	e.msgs = e.msgs[:n]
+	e.actions = e.actions[:n]
+}
+
+// minShardAgents bounds how finely ShardComposeStep shards: below ~1k
+// agents per worker the goroutine spawn and barrier overhead exceeds the
+// step work, so the effective worker count is capped at n/minShardAgents.
+// Output is worker-count-invariant, so the cap is purely a scheduling
+// heuristic.
+const minShardAgents = 1024
+
+// ShardComposeStep partitions [0, n) into up to workers contiguous shards
+// and runs compose over every shard, then — after a barrier, because steps
+// read messages composed by other shards — step over every shard. With one
+// effective worker both callbacks run inline on the caller's goroutine.
+// The rogue extension engine shares this machinery; any tuning here applies
+// to both engines.
+func ShardComposeStep(n, workers int, compose, step func(lo, hi int)) {
+	w := workers
+	if lim := n / minShardAgents; w > lim {
+		w = lim
+	}
+	if w <= 1 {
+		compose(0, n)
+		step(0, n)
+		return
+	}
+	var composed, stepped sync.WaitGroup
+	composed.Add(w)
+	stepped.Add(w)
+	for k := 0; k < w; k++ {
+		go func(lo, hi int) {
+			compose(lo, hi)
+			composed.Done()
+			// Barrier: every message must be composed before any step
+			// reads a neighbor's message.
+			composed.Wait()
+			step(lo, hi)
+			stepped.Done()
+		}(k*n/w, (k+1)*n/w)
+	}
+	stepped.Wait()
+}
+
+// composeAndStep runs phases 3–5 of the round over agents [0, n): compose
+// every message from pre-round state, then (after a barrier) execute every
+// agent's protocol step. Each agent's coin flips come from the
+// counter-based stream (protoKey, round, slot), so the result is
+// bit-identical whether the shards run serially or concurrently.
+func (e *Engine) composeAndStep(n int) {
+	ShardComposeStep(n, e.workers, e.composeRange, func(lo, hi int) {
+		var src prng.Source
+		e.stepRange(lo, hi, &src)
+	})
+}
+
+// composeRange composes the outgoing messages of agents [lo, hi).
+func (e *Engine) composeRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.msgs[i] = e.cfg.Protocol.Compose(e.pop.Ref(i))
+	}
+}
+
+// stepRange delivers and steps agents [lo, hi), reseeding src per agent.
+func (e *Engine) stepRange(lo, hi int, src *prng.Source) {
+	for i := lo; i < hi; i++ {
+		src.SeedCounter(e.protoKey, e.round, uint64(i))
+		j := e.pairing.Nbr[i]
+		var msg wire.Message
+		hasNbr := j != match.Unmatched
+		if hasNbr {
+			msg = e.cfg.Protocol.Decode(e.msgs[j])
+		}
+		e.actions[i] = e.cfg.Protocol.Step(e.pop.Ref(i), msg, hasNbr, src)
+	}
 }
 
 // RunRounds executes n rounds, returning the last report.

@@ -380,7 +380,7 @@ func TestGoldenTrajectory(t *testing.T) {
 		rep := e.RunRound()
 		checksum = checksum*31 + uint64(rep.SizeAfter)
 	}
-	const want = uint64(14236083045915959070)
+	const want = uint64(17620344927233764585)
 	if checksum != want {
 		t.Errorf("trajectory checksum changed: got %d, want %d\n"+
 			"(if this change is intentional, update the golden value)", checksum, want)

@@ -12,7 +12,10 @@
 //   - a library of adversary strategies, budgeted per the model;
 //   - the §1.2 extensions (malicious programs, geometric communication,
 //     clock drift);
-//   - the reproduction experiment suite (E1–E17, A1–A6).
+//   - the reproduction experiment suite (E1–E17, A1–A6);
+//   - a deterministic parallel round engine: per-agent counter-based
+//     randomness makes simulation output bit-identical across any
+//     Config.Workers count, so multi-core runs are pure speedup.
 //
 // Quick start:
 //
@@ -142,14 +145,21 @@ type Config struct {
 	InitialSize int
 	// Seed derives all randomness; runs are fully deterministic in it.
 	Seed uint64
+	// Workers sets the number of goroutines sharding the engine's per-agent
+	// compose/step phases: 0 means runtime.NumCPU(), 1 forces the serial
+	// path. Simulation output is bit-identical across all worker counts
+	// (per-agent randomness is counter-based, keyed on round and agent
+	// slot), so Workers is purely a throughput knob.
+	Workers int
 }
 
 // Sim is one deterministic simulation run.
 type Sim struct {
-	eng    *sim.Engine
-	proto  *protocol.Protocol // nil for baselines
-	params Params
-	kind   ProtocolKind
+	eng      *sim.Engine
+	proto    *protocol.Protocol // nil for baselines
+	params   Params
+	kind     ProtocolKind
+	epochLen int
 }
 
 // New validates cfg and builds the simulation.
@@ -205,13 +215,15 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("popstab: unknown protocol kind %d", int(cfg.Protocol))
 	}
 
+	s.epochLen = stepper.EpochLen()
+
 	adv := cfg.Adversary
 	k := cfg.K
 	if adv != nil && cfg.PerEpochBudget > 0 {
 		if k <= 0 {
 			k = 1
 		}
-		adv = adversary.NewPaced(adversary.PerEpoch(stepper.EpochLen(), cfg.PerEpochBudget, k), adv)
+		adv = adversary.NewPaced(adversary.PerEpoch(s.epochLen, cfg.PerEpochBudget, k), adv)
 	}
 
 	eng, err := sim.New(sim.Config{
@@ -222,6 +234,7 @@ func New(cfg Config) (*Sim, error) {
 		K:           k,
 		Seed:        cfg.Seed,
 		InitialSize: cfg.InitialSize,
+		Workers:     cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("popstab: %w", err)
@@ -242,24 +255,9 @@ func (s *Sim) Size() int { return s.eng.Size() }
 // GlobalRound reports the number of completed rounds.
 func (s *Sim) GlobalRound() uint64 { return s.eng.GlobalRound() }
 
-// EpochLen reports the running protocol's epoch length in rounds.
-func (s *Sim) EpochLen() int { return s.protoEpochLen() }
-
-func (s *Sim) protoEpochLen() int {
-	if s.proto != nil {
-		return s.proto.EpochLen()
-	}
-	// Baselines: reconstruct from the engine's epoch index.
-	switch s.kind {
-	case Attempt1:
-		a, _ := baseline.NewAttempt1(s.params)
-		return a.EpochLen()
-	case Attempt2, Empty:
-		return 1
-	default:
-		return s.params.T
-	}
-}
+// EpochLen reports the running protocol's epoch length in rounds, cached at
+// construction.
+func (s *Sim) EpochLen() int { return s.epochLen }
 
 // RunRound executes one round.
 func (s *Sim) RunRound() RoundReport { return s.eng.RunRound() }

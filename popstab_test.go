@@ -1,6 +1,7 @@
 package popstab_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -252,5 +253,63 @@ func TestExperimentFacade(t *testing.T) {
 	}
 	if res.ID != "E13" || !strings.HasPrefix(res.Verdict, "REPRODUCED") {
 		t.Errorf("E13 result: %s / %s", res.ID, res.Verdict)
+	}
+}
+
+// TestParallelWorkersEquivalence is the public-surface determinism
+// guarantee of the parallel round engine: for every protocol kind, and for
+// an adversarial run, the full RoundReport trajectory and final Census are
+// bit-identical across Workers ∈ {1, 2, 8}.
+func TestParallelWorkersEquivalence(t *testing.T) {
+	kinds := []popstab.ProtocolKind{
+		popstab.Paper, popstab.Attempt1, popstab.Attempt2, popstab.Empty,
+	}
+	type arm struct {
+		name string
+		cfg  popstab.Config
+	}
+	var arms []arm
+	for _, kind := range kinds {
+		arms = append(arms, arm{
+			name: kind.String(),
+			cfg:  popstab.Config{N: 4096, Tinner: 24, Seed: 31, Protocol: kind},
+		})
+	}
+	arms = append(arms, arm{
+		name: "paper-adversarial",
+		cfg: popstab.Config{N: 4096, Tinner: 24, Seed: 32,
+			Adversary: popstab.NewGreedy(), K: 4},
+	})
+
+	const rounds = 300
+	run := func(cfg popstab.Config, workers int) ([]popstab.RoundReport, popstab.Census) {
+		cfg.Workers = workers
+		s, err := popstab.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := make([]popstab.RoundReport, rounds)
+		for i := range reps {
+			reps[i] = s.RunRound()
+		}
+		return reps, s.Census()
+	}
+	for _, a := range arms {
+		t.Run(a.name, func(t *testing.T) {
+			wantReps, wantCensus := run(a.cfg, 1)
+			for _, w := range []int{2, 8} {
+				gotReps, gotCensus := run(a.cfg, w)
+				for i := range wantReps {
+					if gotReps[i] != wantReps[i] {
+						t.Fatalf("workers=%d: round %d diverged:\n  got  %+v\n  want %+v",
+							w, i, gotReps[i], wantReps[i])
+					}
+				}
+				if fmt.Sprintf("%+v", gotCensus) != fmt.Sprintf("%+v", wantCensus) {
+					t.Fatalf("workers=%d: census diverged:\n  got  %+v\n  want %+v",
+						w, gotCensus, wantCensus)
+				}
+			}
+		})
 	}
 }
