@@ -1,11 +1,13 @@
 // Command popattack explores the adversary strategy space: it runs every
 // strategy across a grid of per-epoch budgets and prints the worst
 // population displacement each achieves — a quick map of where the
-// protocol's tolerance ends.
+// protocol's tolerance ends. With -topology torus the same grid runs under
+// geometric (nearest-neighbor) communication, the A7 scenario.
 //
-// Example:
+// Examples:
 //
 //	popattack -n 4096 -epochs 20 -budgets 0,8,32,128,512
+//	popattack -n 4096 -topology torus -epochs 10
 package main
 
 import (
@@ -32,9 +34,14 @@ func run(args []string) error {
 		tinner     = fs.Int("tinner", 24, "recruitment subphase length (0 = paper default)")
 		epochs     = fs.Int("epochs", 20, "epochs per cell")
 		seed       = fs.Uint64("seed", 1, "PRNG seed")
+		topo       = fs.String("topology", "mixed", "communication topology: mixed|torus")
 		budgetList = fs.String("budgets", "", "comma-separated per-epoch budgets (empty = 0,1x,4x,16x of N^(1/4))")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	topology, err := popstab.TopologyFromString(*topo)
+	if err != nil {
 		return err
 	}
 
@@ -58,7 +65,7 @@ func run(args []string) error {
 		}
 	}
 
-	fmt.Printf("# %s  (N^(1/4) = %d)\n", params, base)
+	fmt.Printf("# %s  topology=%s  (N^(1/4) = %d)\n", params, topology, base)
 	fmt.Printf("# cells: worst |m−N|/N over %d epochs; '!' marks an interval violation\n\n", *epochs)
 	fmt.Printf("%-18s", "strategy\\budget")
 	for _, b := range budgets {
@@ -72,7 +79,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("%-18s", name)
 		for _, b := range budgets {
-			dev, violated, err := runCell(*n, *tinner, *seed, *epochs, name, b)
+			dev, violated, err := runCell(*n, *tinner, *seed, *epochs, name, b, topology)
 			if err != nil {
 				return err
 			}
@@ -88,8 +95,8 @@ func run(args []string) error {
 }
 
 // runCell measures the worst relative displacement for one strategy/budget.
-func runCell(n, tinner int, seed uint64, epochs int, name string, budget int) (float64, bool, error) {
-	cfg := popstab.Config{N: n, Tinner: tinner, Seed: seed}
+func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, topology popstab.Topology) (float64, bool, error) {
+	cfg := popstab.Config{N: n, Tinner: tinner, Seed: seed, Topology: topology}
 	probe, err := popstab.New(cfg)
 	if err != nil {
 		return 0, false, err

@@ -1,9 +1,13 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"popstab"
+)
 
 func TestRunCell(t *testing.T) {
-	dev, violated, err := runCell(4096, 24, 1, 2, "delete-random", 8)
+	dev, violated, err := runCell(4096, 24, 1, 2, "delete-random", 8, popstab.Mixed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,13 +20,19 @@ func TestRunCell(t *testing.T) {
 }
 
 func TestRunCellZeroBudget(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 0); err != nil {
+	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 0, popstab.Mixed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCellTorus(t *testing.T) {
+	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, popstab.Torus); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCellBadStrategy(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "bogus", 8); err == nil {
+	if _, _, err := runCell(4096, 24, 1, 1, "bogus", 8, popstab.Mixed); err == nil {
 		t.Error("accepted unknown strategy")
 	}
 }
@@ -36,5 +46,8 @@ func TestRunSmallGrid(t *testing.T) {
 func TestRunRejectsBadBudgets(t *testing.T) {
 	if err := run([]string{"-budgets", "x"}); err == nil {
 		t.Error("accepted non-numeric budget")
+	}
+	if err := run([]string{"-topology", "ring"}); err == nil {
+		t.Error("accepted unknown topology")
 	}
 }

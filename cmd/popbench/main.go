@@ -1,4 +1,4 @@
-// Command popbench runs the reproduction experiment suite (E1–E16, A1–A4)
+// Command popbench runs the reproduction experiment suite (E1–E17, A1–A7)
 // and prints the regenerated tables — the rows recorded in EXPERIMENTS.md.
 //
 // Examples:

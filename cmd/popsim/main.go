@@ -6,6 +6,9 @@
 //	popsim -n 4096 -epochs 20
 //	popsim -n 16384 -adv greedy -budget 16 -epochs 40
 //	popsim -n 4096 -protocol attempt2 -epochs 10 -csv trace.csv
+//	popsim -n 4096 -topology torus -adv greedy -budget 16 -epochs 10
+//	popsim -n 4096 -rogues 64 -rogue-every 12 -epochs 5
+//	popsim -n 4096 -topology torus -rogues 64 -rogue-every 12 -epochs 5
 package main
 
 import (
@@ -38,6 +41,12 @@ func run(args []string) error {
 		budget   = fs.Int("budget", 0, "adversary alterations per epoch (0 = N^(1/4))")
 		k        = fs.Int("k", 1, "adversary per-round cap K")
 		bits     = fs.Int("bits", 3, "message codec width: 3 or 4")
+		topo     = fs.String("topology", "mixed", "communication topology: mixed|torus")
+		spread   = fs.Float64("spread", 0, "torus daughter spread as a fraction of 1/sqrt(N) (0 = 1.0)")
+		rogues   = fs.Int("rogues", 0, "initial rogue agents (enables the malicious-program extension)")
+		rogueEv  = fs.Int("rogue-every", 12, "rogue replication period R (rounds)")
+		rogueDet = fs.Float64("rogue-detect", 1, "honest per-contact detection probability")
+		roguePE  = fs.Int("rogues-per-epoch", 0, "rogues infiltrated at every epoch boundary")
 		csvPath  = fs.String("csv", "", "write a per-epoch CSV trace to this file")
 		listAdv  = fs.Bool("list-adv", false, "list adversary strategies and exit")
 		quietRun = fs.Bool("q", false, "suppress the per-epoch table")
@@ -56,14 +65,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	topology, err := popstab.TopologyFromString(*topo)
+	if err != nil {
+		return err
+	}
 	cfg := popstab.Config{
-		N:           *n,
-		Tinner:      *tinner,
-		Gamma:       *gamma,
-		Alpha:       *alpha,
-		Protocol:    kind,
-		MessageBits: *bits,
-		Seed:        *seed,
+		N:              *n,
+		Tinner:         *tinner,
+		Gamma:          *gamma,
+		Alpha:          *alpha,
+		Protocol:       kind,
+		MessageBits:    *bits,
+		Topology:       topology,
+		DaughterSpread: *spread,
+		Seed:           *seed,
+	}
+	if *rogues != 0 || *roguePE != 0 {
+		cfg.Rogue = &popstab.RogueConfig{
+			ReplicateEvery: *rogueEv,
+			DetectProb:     *rogueDet,
+			InitialRogues:  *rogues,
+			RoguesPerEpoch: *roguePE,
+		}
 	}
 	// Derive params first so adversaries can use the geometry.
 	probe, err := popstab.New(cfg)
@@ -88,8 +111,13 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("# %s protocol=%s adversary=%s budget=%s seed=%d\n",
-		params, kind, *advName, budgetString(cfg.PerEpochBudget), *seed)
+	fmt.Printf("# %s protocol=%s topology=%s adversary=%s budget=%s seed=%d\n",
+		params, kind, topology, *advName, budgetString(cfg.PerEpochBudget), *seed)
+	if cfg.Rogue != nil {
+		fmt.Printf("# rogue extension: initial=%d per-epoch=%d R=%d detect=%.2f\n",
+			cfg.Rogue.InitialRogues, cfg.Rogue.RoguesPerEpoch,
+			cfg.Rogue.ReplicateEvery, cfg.Rogue.DetectProb)
+	}
 
 	rec := trace.NewRecorder()
 	if !*quietRun {
@@ -119,6 +147,12 @@ func run(args []string) error {
 		int(float64(params.N)*(1+params.Alpha)))
 	if c := s.Counters(); c != nil {
 		fmt.Printf("# protocol counters: %s\n", c)
+	}
+	if cfg.Rogue != nil {
+		honest, rg := s.RogueCounts()
+		st := s.RogueStats()
+		fmt.Printf("# rogue extension: honest=%d rogues=%d kills=%d rogueSplits=%d missedDetections=%d\n",
+			honest, rg, st.RogueKills, st.RogueSplits, st.FailedDetections)
 	}
 
 	if *csvPath != "" {

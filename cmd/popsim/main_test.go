@@ -42,13 +42,38 @@ func TestRunListAdversaries(t *testing.T) {
 	}
 }
 
+func TestRunTorusTopology(t *testing.T) {
+	if err := run([]string{"-n", "4096", "-tinner", "24", "-epochs", "1", "-q",
+		"-topology", "torus", "-adv", "greedy", "-budget", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRogueExtension(t *testing.T) {
+	if err := run([]string{"-n", "4096", "-tinner", "24", "-epochs", "1", "-q",
+		"-rogues", "16", "-rogue-every", "12"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRogueOnTorus(t *testing.T) {
+	if err := run([]string{"-n", "4096", "-tinner", "24", "-epochs", "1", "-q",
+		"-topology", "torus", "-rogues", "16", "-rogue-every", "12"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	cases := [][]string{
-		{"-n", "1000"},               // invalid N
-		{"-adv", "bogus"},            // unknown adversary
-		{"-protocol", "bogus"},       // unknown protocol
-		{"-n", "4096", "-bits", "7"}, // unsupported codec
-		{"-gamma", "3"},              // invalid gamma
+		{"-n", "1000"},                                      // invalid N
+		{"-adv", "bogus"},                                   // unknown adversary
+		{"-protocol", "bogus"},                              // unknown protocol
+		{"-n", "4096", "-bits", "7"},                        // unsupported codec
+		{"-gamma", "3"},                                     // invalid gamma
+		{"-topology", "ring"},                               // unknown topology
+		{"-n", "4096", "-rogues", "-1"},                     // negative rogues... parsed but rejected downstream
+		{"-n", "4096", "-spread", "0.5"},                    // spread without torus topology
+		{"-n", "4096", "-rogues", "4", "-rogue-every", "0"}, // invalid period
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

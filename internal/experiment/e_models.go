@@ -65,8 +65,9 @@ func runA5(cfg Config) (*Result, error) {
 		fmtF(float64(uc.EvalDeaths)/float64(epochs)),
 		fmtI(eng.Size()))
 
-	// Spatial arm.
-	geng, err := geo.New(geo.Config{Params: p, Seed: cfg.Seed})
+	// Spatial arm (Workers: 1 like every suite engine; output is identical
+	// for any worker count).
+	geng, err := geo.New(geo.Config{Params: p, Seed: cfg.Seed, Workers: 1})
 	if err != nil {
 		return nil, err
 	}

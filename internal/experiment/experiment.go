@@ -1,7 +1,7 @@
 // Package experiment defines and runs the reproduction suite: one
-// experiment per quantitative claim of the paper (E1–E16) plus design
-// ablations (A1–A4), as indexed in DESIGN.md §4 and reported in
-// EXPERIMENTS.md.
+// experiment per quantitative claim of the paper (E1–E17) plus design
+// ablations and open-question probes (A1–A7), as indexed in DESIGN.md §4
+// and reported in EXPERIMENTS.md.
 //
 // The paper is a theory result with no empirical tables or figures, so each
 // "table/figure" here is a measurable statement extracted from a theorem,
@@ -54,7 +54,7 @@ type Config struct {
 
 // Experiment is one reproducible claim.
 type Experiment struct {
-	// ID is the experiment identifier (E1…E16, A1…A4).
+	// ID is the experiment identifier (E1…E17, A1…A7).
 	ID string
 	// Title is a short human name.
 	Title string

@@ -2,8 +2,8 @@
 // as an open question (§1.2, "Alternate communication models"): agents live
 // at points of the unit 2-torus and each round are matched with a nearby
 // agent instead of a uniformly random one. Daughters of a split appear next
-// to their parent (cell division); inserted agents appear wherever the
-// adversary chooses.
+// to their parent (cell division); inserted agents appear at fresh uniform
+// positions.
 //
 // The package exists to answer the ablation question A5: is the paper's
 // uniformly-random matching load-bearing? It is. Under local matching,
@@ -12,7 +12,17 @@
 // assumes: the same-color meeting probability no longer encodes the global
 // population size, and the size signal floors at the local neighborhood
 // scale. Experiment A5 measures the resulting bias against the uniform
-// scheduler.
+// scheduler; experiment A7 sweeps adversary budgets on top of it.
+//
+// Since the multi-layer unification (DESIGN.md §5) the package holds no
+// round loop of its own: the geometry lives in match.Torus (a
+// population-state-aware Matcher carrying a population.Positions
+// side-array), and Engine is a thin constructor over the unified
+// sim.Engine. The spatial model therefore inherits everything the
+// well-mixed engine has — Workers sharding with bit-identical output across
+// worker counts, counter-based per-agent randomness, RoundReport /
+// EpochReport accounting, and full adversary support — none of which the
+// pre-unification spatial engine offered.
 package geo
 
 import (
@@ -20,32 +30,16 @@ import (
 	"fmt"
 	"math"
 
-	"popstab/internal/agent"
+	"popstab/internal/adversary"
 	"popstab/internal/match"
 	"popstab/internal/params"
 	"popstab/internal/population"
-	"popstab/internal/prng"
 	"popstab/internal/protocol"
-	"popstab/internal/wire"
+	"popstab/internal/sim"
 )
 
 // Point is a position on the unit 2-torus.
-type Point struct {
-	X, Y float64
-}
-
-// torusDist2 is the squared toroidal distance between two points.
-func torusDist2(a, b Point) float64 {
-	dx := math.Abs(a.X - b.X)
-	if dx > 0.5 {
-		dx = 1 - dx
-	}
-	dy := math.Abs(a.Y - b.Y)
-	if dy > 0.5 {
-		dy = 1 - dy
-	}
-	return dx*dx + dy*dy
-}
+type Point = population.Point
 
 // Config assembles a spatial simulation.
 type Config struct {
@@ -55,30 +49,28 @@ type Config struct {
 	// its parent, as a fraction of the mean inter-agent spacing 1/√N
 	// (default 1.0).
 	DaughterSpread float64
+	// Adversary attacks each round within budget K (nil = none).
+	Adversary adversary.Adversary
+	// K is the adversary's per-round alteration budget.
+	K int
 	// Seed derives all randomness.
 	Seed uint64
+	// Workers sets the number of goroutines sharding the compose and step
+	// phases: 0 means runtime.NumCPU(), 1 forces the serial path. Output is
+	// bit-identical across all worker counts.
+	Workers int
 }
 
-// Engine drives the protocol over spatially matched agents. Not safe for
+// Engine drives the protocol over spatially matched agents: a thin wrapper
+// over the unified sim.Engine with a match.Torus installed. Not safe for
 // concurrent use.
 type Engine struct {
-	cfg    Config
-	proto  *protocol.Protocol
-	states []agent.State
-	pos    []Point
+	*sim.Engine
+	proto *protocol.Protocol
+	torus *match.Torus
 
-	protoSrc *prng.Source
-	geoSrc   *prng.Source
-
-	// grid buckets agent indices by cell for neighbor search.
-	gridSide int
-	grid     [][]int32
-
-	nbr     []int32
-	msgs    []uint8
-	actions []population.Action
-
-	round uint64
+	// probe is scratch for SampleColorAgreement.
+	probe match.Pairing
 }
 
 // New validates cfg and builds the engine with Params.N agents at uniform
@@ -97,133 +89,46 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geo: %w", err)
 	}
-	root := prng.New(cfg.Seed)
-	e := &Engine{
-		cfg:      cfg,
-		proto:    pr,
-		protoSrc: root.Split(),
-		geoSrc:   root.Split(),
+	spacing := 1 / math.Sqrt(float64(cfg.Params.N))
+	torus, err := match.NewTorus(cfg.DaughterSpread * spacing)
+	if err != nil {
+		return nil, fmt.Errorf("geo: %w", err)
 	}
-	n := cfg.Params.N
-	e.states = make([]agent.State, n)
-	e.pos = make([]Point, n)
-	for i := range e.pos {
-		e.pos[i] = Point{X: e.geoSrc.Float64(), Y: e.geoSrc.Float64()}
+	eng, err := sim.New(sim.Config{
+		Params:    cfg.Params,
+		Protocol:  pr,
+		Matcher:   torus,
+		Adversary: cfg.Adversary,
+		K:         cfg.K,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("geo: %w", err)
 	}
-	return e, nil
-}
-
-// Size reports the current population.
-func (e *Engine) Size() int { return len(e.states) }
-
-// GlobalRound reports completed rounds.
-func (e *Engine) GlobalRound() uint64 { return e.round }
-
-// Census snapshots the population.
-func (e *Engine) Census() population.Census {
-	return population.FromStates(e.states).TakeCensus(e.cfg.Params.T-1, e.cfg.Params.HalfLogN)
+	return &Engine{Engine: eng, proto: pr, torus: torus}, nil
 }
 
 // Protocol exposes the underlying protocol (for counters).
 func (e *Engine) Protocol() *protocol.Protocol { return e.proto }
 
-// RunRound executes one round with nearest-available matching.
-func (e *Engine) RunRound() {
-	n := len(e.states)
-	e.ensureBuffers(n)
-	e.matchLocal(n)
-
-	for i := 0; i < n; i++ {
-		e.msgs[i] = e.proto.Compose(&e.states[i])
-	}
-	for i := 0; i < n; i++ {
-		j := e.nbr[i]
-		var msg wire.Message
-		hasNbr := j != match.Unmatched
-		if hasNbr {
-			msg = e.proto.Decode(e.msgs[j])
-		}
-		e.actions[i] = e.proto.Step(&e.states[i], msg, hasNbr, e.protoSrc)
-	}
-
-	// Apply fates, keeping positions aligned with states.
-	w := 0
-	var babyStates []agent.State
-	var babyPos []Point
-	for i := 0; i < n; i++ {
-		switch e.actions[i] {
-		case population.ActDie:
-			continue
-		case population.ActSplit:
-			babyStates = append(babyStates, e.states[i])
-			babyPos = append(babyPos, e.daughterPos(e.pos[i]))
-		}
-		e.states[w] = e.states[i]
-		e.pos[w] = e.pos[i]
-		w++
-	}
-	e.states = append(e.states[:w], babyStates...)
-	e.pos = append(e.pos[:w], babyPos...)
-	e.round++
-}
-
-// RunEpoch executes T rounds.
-func (e *Engine) RunEpoch() {
-	for i := 0; i < e.cfg.Params.T; i++ {
-		e.RunRound()
-	}
-}
-
-// daughterPos places a daughter near its parent.
-func (e *Engine) daughterPos(p Point) Point {
-	spacing := 1 / math.Sqrt(float64(e.cfg.Params.N))
-	sigma := e.cfg.DaughterSpread * spacing
-	// Box-Muller from two uniforms.
-	u1 := e.geoSrc.Float64()
-	if u1 < 1e-12 {
-		u1 = 1e-12
-	}
-	u2 := e.geoSrc.Float64()
-	r := sigma * math.Sqrt(-2*math.Log(u1))
-	x := p.X + r*math.Cos(2*math.Pi*u2)
-	y := p.Y + r*math.Sin(2*math.Pi*u2)
-	return Point{X: wrap(x), Y: wrap(y)}
-}
-
-func wrap(v float64) float64 {
-	v = math.Mod(v, 1)
-	if v < 0 {
-		v++
-	}
-	return v
-}
-
-// ensureBuffers sizes the scratch arrays.
-func (e *Engine) ensureBuffers(n int) {
-	if cap(e.nbr) < n {
-		e.nbr = make([]int32, n)
-		e.msgs = make([]uint8, n)
-		e.actions = make([]population.Action, n)
-	}
-	e.nbr = e.nbr[:n]
-	e.msgs = e.msgs[:n]
-	e.actions = e.actions[:n]
-}
+// Torus exposes the spatial matcher (positions, geometry).
+func (e *Engine) Torus() *match.Torus { return e.torus }
 
 // SampleColorAgreement draws a fresh local matching over the current
-// population and reports how many matched active pairs agree or disagree in
-// color. It does not advance the simulation (though it consumes scheduler
-// randomness).
+// population — from the torus's own placement stream, so the simulation's
+// matching randomness is untouched — and reports how many matched active
+// pairs agree or disagree in color. It does not advance the simulation.
 func (e *Engine) SampleColorAgreement() (same, diff int) {
-	n := len(e.states)
-	e.ensureBuffers(n)
-	e.matchLocal(n)
+	pop := e.Population()
+	e.torus.SampleProbe(pop, &e.probe)
+	n := pop.Len()
 	for i := 0; i < n; i++ {
-		j := e.nbr[i]
+		j := e.probe.Nbr[i]
 		if j == match.Unmatched || int(j) < i {
 			continue
 		}
-		a, b := &e.states[i], &e.states[j]
+		a, b := pop.State(i), pop.State(int(j))
 		if !a.Active || !b.Active {
 			continue
 		}
@@ -234,74 +139,4 @@ func (e *Engine) SampleColorAgreement() (same, diff int) {
 		}
 	}
 	return same, diff
-}
-
-// matchLocal pairs each agent with the nearest unmatched agent within its
-// 3×3 grid neighborhood, visiting agents in random order. Coverage is high
-// (most agents have a close unmatched neighbor) but pairs are strongly
-// local — the property under test.
-func (e *Engine) matchLocal(n int) {
-	for i := range e.nbr {
-		e.nbr[i] = match.Unmatched
-	}
-	if n < 2 {
-		return
-	}
-	side := int(math.Sqrt(float64(n)))
-	if side < 1 {
-		side = 1
-	}
-	e.gridSide = side
-	if cap(e.grid) < side*side {
-		e.grid = make([][]int32, side*side)
-	}
-	e.grid = e.grid[:side*side]
-	for i := range e.grid {
-		e.grid[i] = e.grid[i][:0]
-	}
-	cellOf := func(p Point) (int, int) {
-		cx := int(p.X * float64(side))
-		cy := int(p.Y * float64(side))
-		if cx >= side {
-			cx = side - 1
-		}
-		if cy >= side {
-			cy = side - 1
-		}
-		return cx, cy
-	}
-	for i := 0; i < n; i++ {
-		cx, cy := cellOf(e.pos[i])
-		idx := cy*side + cx
-		e.grid[idx] = append(e.grid[idx], int32(i))
-	}
-
-	order := e.geoSrc.Perm(n)
-	for _, i := range order {
-		if e.nbr[i] != match.Unmatched {
-			continue
-		}
-		cx, cy := cellOf(e.pos[i])
-		best := int32(-1)
-		bestD := math.Inf(1)
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				gx := (cx + dx + side) % side
-				gy := (cy + dy + side) % side
-				for _, j := range e.grid[gy*side+gx] {
-					if int(j) == i || e.nbr[j] != match.Unmatched {
-						continue
-					}
-					if d := torusDist2(e.pos[i], e.pos[j]); d < bestD {
-						bestD = d
-						best = j
-					}
-				}
-			}
-		}
-		if best >= 0 {
-			e.nbr[i] = best
-			e.nbr[best] = int32(i)
-		}
-	}
 }

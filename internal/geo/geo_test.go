@@ -1,11 +1,12 @@
 package geo
 
 import (
-	"math"
+	"runtime"
 	"testing"
 
-	"popstab/internal/match"
+	"popstab/internal/adversary"
 	"popstab/internal/params"
+	"popstab/internal/population"
 )
 
 func fastParams(t testing.TB) params.Params {
@@ -24,117 +25,153 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Params: fastParams(t), DaughterSpread: -1}); err == nil {
 		t.Error("accepted negative spread")
 	}
-}
-
-func TestTorusDistance(t *testing.T) {
-	cases := []struct {
-		a, b Point
-		want float64
-	}{
-		{Point{0, 0}, Point{0, 0}, 0},
-		{Point{0.1, 0}, Point{0.2, 0}, 0.01},
-		{Point{0.05, 0}, Point{0.95, 0}, 0.01}, // wraps around
-		{Point{0, 0.05}, Point{0, 0.95}, 0.01},
-		{Point{0, 0}, Point{0.5, 0.5}, 0.5},
-	}
-	for _, tc := range cases {
-		if got := torusDist2(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
-			t.Errorf("torusDist2(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
-		}
-	}
-}
-
-func TestWrap(t *testing.T) {
-	cases := map[float64]float64{0.5: 0.5, 1.25: 0.25, -0.25: 0.75, 2.5: 0.5}
-	for in, want := range cases {
-		if got := wrap(in); math.Abs(got-want) > 1e-12 {
-			t.Errorf("wrap(%v) = %v, want %v", in, got, want)
-		}
-	}
-}
-
-func TestMatchingIsValidAndLocal(t *testing.T) {
-	e, err := New(Config{Params: fastParams(t), Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := e.Size()
-	e.ensureBuffers(n)
-	e.matchLocal(n)
-
-	matched := 0
-	var sumD float64
-	for i := 0; i < n; i++ {
-		j := e.nbr[i]
-		if j == match.Unmatched {
-			continue
-		}
-		matched++
-		if int(e.nbr[j]) != i {
-			t.Fatalf("asymmetric pair %d -> %d -> %d", i, j, e.nbr[j])
-		}
-		if int(j) == i {
-			t.Fatalf("self pair at %d", i)
-		}
-		sumD += math.Sqrt(torusDist2(e.pos[i], e.pos[j]))
-	}
-	if matched < n/2 {
-		t.Errorf("only %d of %d agents matched", matched, n)
-	}
-	// Locality: mean pair distance must be on the order of the spacing
-	// 1/√N, far below the uniform-matching expectation ≈ 0.38.
-	meanD := sumD / float64(matched)
-	spacing := 1 / math.Sqrt(float64(n))
-	if meanD > 5*spacing {
-		t.Errorf("mean pair distance %.4f not local (spacing %.4f)", meanD, spacing)
-	}
-}
-
-func TestDaughterPlacedNearParent(t *testing.T) {
-	e, err := New(Config{Params: fastParams(t), Seed: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	parent := Point{X: 0.5, Y: 0.5}
-	spacing := 1 / math.Sqrt(float64(e.cfg.Params.N))
-	for i := 0; i < 1000; i++ {
-		d := math.Sqrt(torusDist2(parent, e.daughterPos(parent)))
-		if d > 10*spacing {
-			t.Fatalf("daughter placed %.4f away (spacing %.4f)", d, spacing)
-		}
+	if _, err := New(Config{Params: fastParams(t), K: -1}); err == nil {
+		t.Error("accepted negative adversary budget")
 	}
 }
 
 func TestPositionsTrackPopulation(t *testing.T) {
-	e, err := New(Config{Params: fastParams(t), Seed: 3})
+	e, err := New(Config{Params: fastParams(t), Seed: 3, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 2*e.cfg.Params.T; i++ {
+	pos := e.Torus().Positions()
+	for i := 0; i < 2*e.Params().T; i++ {
 		e.RunRound()
-		if len(e.states) != len(e.pos) {
-			t.Fatalf("round %d: %d states vs %d positions", i, len(e.states), len(e.pos))
+		if pos.Len() != e.Size() {
+			t.Fatalf("round %d: %d positions vs %d agents", i, pos.Len(), e.Size())
 		}
 	}
-	for i := range e.pos {
-		if e.pos[i].X < 0 || e.pos[i].X >= 1 || e.pos[i].Y < 0 || e.pos[i].Y >= 1 {
-			t.Fatalf("position %d out of torus: %+v", i, e.pos[i])
+	for i := 0; i < pos.Len(); i++ {
+		pt := pos.At(i)
+		if pt.X < 0 || pt.X >= 1 || pt.Y < 0 || pt.Y >= 1 {
+			t.Fatalf("position %d out of torus: %+v", i, pt)
 		}
 	}
 }
 
-func BenchmarkGeoRound(b *testing.B) {
-	p, err := params.Derive(4096, params.WithTinner(24))
+// TestAdversarySupport runs the spatial model under a paced adversary — a
+// scenario the pre-unification geo engine could not express — and asserts
+// the alterations land and positions stay aligned through insertions and
+// deletions.
+func TestAdversarySupport(t *testing.T) {
+	p := fastParams(t)
+	paced := adversary.NewPaced(adversary.PerEpoch(p.T, 4*p.MaxTolerableK(), 1),
+		adversary.NewGreedy())
+	e, err := New(Config{Params: p, Adversary: paced, K: 1, Seed: 5, Workers: 1})
 	if err != nil {
-		b.Fatal(err)
+		t.Fatal(err)
 	}
-	e, err := New(Config{Params: p, Seed: 1})
+	altered := 0
+	for ep := 0; ep < 2; ep++ {
+		rep := e.RunEpoch()
+		altered += rep.AdvInserted + rep.AdvDeleted
+	}
+	if altered == 0 {
+		t.Error("adversary never acted on the spatial engine")
+	}
+	if e.Torus().Positions().Len() != e.Size() {
+		t.Fatalf("positions %d != size %d after adversarial epochs",
+			e.Torus().Positions().Len(), e.Size())
+	}
+}
+
+// TestParallelDeterminism asserts the spatial engine's trajectory
+// (RoundReport fields and census) is bit-identical across Workers ∈ {1, 2,
+// NumCPU}, with and without an adversary — the determinism guarantee the
+// serial pre-unification engine never had.
+func TestParallelDeterminism(t *testing.T) {
+	p := fastParams(t)
+	arms := []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", Config{Params: p, Seed: 101}},
+		{"greedy-adversary", Config{Params: p, Seed: 102, K: 3, Adversary: adversary.NewGreedy()}},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			run := func(workers int) []uint64 {
+				cfg := arm.cfg
+				cfg.Workers = workers
+				e, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var tr []uint64
+				for i := 0; i < 2*p.T; i++ {
+					rep := e.RunRound()
+					c := e.Census()
+					tr = append(tr,
+						uint64(rep.SizeAfter),
+						uint64(rep.Births)<<32|uint64(rep.Deaths),
+						uint64(rep.AdvInserted)<<32|uint64(rep.AdvDeleted),
+						uint64(c.Active)<<32|uint64(c.WrongRound),
+					)
+				}
+				return tr
+			}
+			want := run(1)
+			for _, w := range []int{2, runtime.NumCPU()} {
+				got := run(w)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: trajectory diverged at sample %d: %d != %d",
+							w, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenTrajectory pins the exact spatial trajectory of a fixed
+// configuration, the geo twin of internal/sim's golden test. If a change is
+// INTENDED, rerun with -v and update the constant.
+func TestGoldenTrajectory(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, Seed: 424242, Workers: 1})
 	if err != nil {
-		b.Fatal(err)
+		t.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.RunRound()
+	var checksum uint64
+	for i := 0; i < 2*p.T; i++ {
+		rep := e.RunRound()
+		checksum = checksum*31 + uint64(rep.SizeAfter)
+	}
+	const want = uint64(9749419792947619442)
+	if checksum != want {
+		t.Errorf("trajectory checksum changed: got %d, want %d\n"+
+			"(if this change is intentional, update the golden value)", checksum, want)
+	}
+}
+
+// TestProbeDoesNotPerturbTrajectory pins SampleColorAgreement's contract:
+// the probe draws from a dedicated stream, so a probed and an unprobed run
+// of the same configuration follow identical trajectories (the paired-
+// comparison property of DESIGN.md §5).
+func TestProbeDoesNotPerturbTrajectory(t *testing.T) {
+	p := fastParams(t)
+	run := func(probe bool) []int {
+		e, err := New(Config{Params: p, Seed: 8, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sizes []int
+		for i := 0; i < p.T; i++ {
+			if probe && i%10 == 0 {
+				e.SampleColorAgreement()
+			}
+			sizes = append(sizes, e.RunRound().SizeAfter)
+		}
+		return sizes
+	}
+	plain, probed := run(false), run(true)
+	for i := range plain {
+		if plain[i] != probed[i] {
+			t.Fatalf("probe perturbed the trajectory at round %d: %d != %d",
+				i, plain[i], probed[i])
+		}
 	}
 }
 
@@ -144,7 +181,7 @@ func BenchmarkGeoRound(b *testing.B) {
 // spatial patches.
 func TestLocalMatchingBiasesColorSignal(t *testing.T) {
 	p := fastParams(t)
-	e, err := New(Config{Params: p, Seed: 4})
+	e, err := New(Config{Params: p, Seed: 4, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,25 +190,7 @@ func TestLocalMatchingBiasesColorSignal(t *testing.T) {
 	for i := 0; i < p.T-1; i++ {
 		e.RunRound()
 	}
-	n := e.Size()
-	e.ensureBuffers(n)
-	e.matchLocal(n)
-	same, diff := 0, 0
-	for i := 0; i < n; i++ {
-		j := e.nbr[i]
-		if j == match.Unmatched || int(j) < i {
-			continue
-		}
-		a, b := e.states[i], e.states[j]
-		if !a.Active || !b.Active {
-			continue
-		}
-		if a.Color == b.Color {
-			same++
-		} else {
-			diff++
-		}
-	}
+	same, diff := e.SampleColorAgreement()
 	if same+diff < 20 {
 		t.Skipf("too few colored pairs to judge (%d)", same+diff)
 	}
@@ -182,3 +201,56 @@ func TestLocalMatchingBiasesColorSignal(t *testing.T) {
 		t.Errorf("same-color fraction %.3f; expected strong spatial bias > 0.7", frac)
 	}
 }
+
+// TestDaughterPlacementStaysLocal asserts the population does not diffuse
+// to uniformity within an epoch: daughters appear near their parents, so a
+// freshly split pair is within a few spacings of each other (checked via
+// the matcher's locality instead of internal engine state).
+func TestDaughterPlacementStaysLocal(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, Seed: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	births := 0
+	for i := 0; i < 2*p.T; i++ {
+		rep := e.RunRound()
+		births += rep.Births
+	}
+	if births == 0 {
+		t.Skip("no splits in the horizon")
+	}
+	if e.Torus().Positions().Len() != e.Size() {
+		t.Fatalf("positions out of sync after %d births", births)
+	}
+}
+
+func TestCensusMatchesSize(t *testing.T) {
+	e, err := New(Config{Params: fastParams(t), Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunRounds(30)
+	if c := e.Census(); c.Total != e.Size() {
+		t.Fatalf("census total %d != size %d", c.Total, e.Size())
+	}
+}
+
+func BenchmarkGeoRound(b *testing.B) {
+	p, err := params.Derive(4096, params.WithTinner(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(Config{Params: p, Seed: 1, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRound()
+	}
+}
+
+// Compile-time check: geo's Point is population's Point (one position type
+// across the tree).
+var _ Point = population.Point{}

@@ -1,0 +1,44 @@
+package match
+
+import (
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// Matcher is the population-state-aware generalization of Scheduler: it
+// samples one round's communication pairing and may inspect the population
+// (typically a side-array it registered at Bind time, such as spatial
+// positions) rather than just its size. The unified round engine
+// (internal/sim) speaks Matcher; plain Schedulers are adapted with
+// FromScheduler.
+type Matcher interface {
+	// SampleMatch fills p with the round's pairing over the population.
+	// It runs in the engine's serial matching phase.
+	SampleMatch(pop *population.Population, src *prng.Source, p *Pairing)
+	// MinFraction reports the guaranteed lower bound γ on the fraction of
+	// agents matched each round (0 for matchers with no guarantee).
+	MinFraction() float64
+	// Name identifies the matcher in experiment output.
+	Name() string
+}
+
+// Binder is implemented by Matchers that carry per-population state. The
+// engine calls Bind exactly once at construction, after the population
+// exists, handing the matcher a dedicated randomness stream (split from the
+// engine root after the protocol, scheduler, and adversary streams, so
+// binding never perturbs those). Bind typically attaches side-arrays via
+// population.Attach.
+type Binder interface {
+	Bind(pop *population.Population, src *prng.Source)
+}
+
+// FromScheduler adapts a size-only Scheduler into a Matcher. The adaptation
+// is behavior-preserving: SampleMatch(pop, …) is exactly Sample(pop.Len(), …).
+func FromScheduler(s Scheduler) Matcher { return schedulerMatcher{s} }
+
+// schedulerMatcher wraps a Scheduler; MinFraction and Name promote.
+type schedulerMatcher struct{ Scheduler }
+
+func (m schedulerMatcher) SampleMatch(pop *population.Population, src *prng.Source, p *Pairing) {
+	m.Sample(pop.Len(), src, p)
+}

@@ -1,0 +1,204 @@
+package match
+
+import (
+	"fmt"
+	"math"
+
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// Torus is the geometric communication model the paper sketches as an open
+// question (§1.2, "Alternate communication models"): agents live at points
+// of the unit 2-torus and each round are matched with a nearby agent instead
+// of a uniformly random one. Daughters of a split appear next to their
+// parent (cell division); inserted agents appear at fresh uniform positions
+// (the adversary's choice is modeled as oblivious placement).
+//
+// Torus owns the position side-array: Bind registers a population.Positions
+// tracker, so splits, deaths, adversarial insertions/deletions, and forced
+// resizes all keep positions aligned without the engine knowing about
+// geometry. Matching pairs each agent with the nearest unmatched agent in
+// its 3×3 grid neighborhood, visiting agents in random order: coverage is
+// high (most agents have a close unmatched neighbor) but pairs are strongly
+// local — the property under test in experiments A5 and A7.
+type Torus struct {
+	// Sigma is the standard deviation of a daughter's offset from its
+	// parent, in torus units (callers usually derive it from the mean
+	// inter-agent spacing 1/√N).
+	Sigma float64
+
+	pos *population.Positions
+	src *prng.Source
+	// probeSrc feeds SampleProbe so measurement probes never perturb the
+	// placement stream (src) or the engine's matching stream.
+	probeSrc *prng.Source
+
+	// grid buckets agent indices by cell for neighbor search.
+	grid [][]int32
+}
+
+var (
+	_ Matcher = (*Torus)(nil)
+	_ Binder  = (*Torus)(nil)
+)
+
+// NewTorus validates sigma and returns an unbound Torus matcher.
+func NewTorus(sigma float64) (*Torus, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("match: torus sigma %v not positive and finite", sigma)
+	}
+	return &Torus{Sigma: sigma}, nil
+}
+
+// Bind implements Binder: it attaches the position side-array (initial and
+// inserted agents uniform on the torus, daughters Gaussian around their
+// parent) and keeps src for placement randomness. Bind must be called
+// exactly once, before the first SampleMatch.
+func (t *Torus) Bind(pop *population.Population, src *prng.Source) {
+	if t.pos != nil {
+		panic("match: Torus bound twice")
+	}
+	t.src = src
+	t.probeSrc = src.Split()
+	t.pos = &population.Positions{
+		Place: func() population.Point {
+			return population.Point{X: src.Float64(), Y: src.Float64()}
+		},
+		Spawn: t.daughter,
+	}
+	pop.Attach(t.pos)
+}
+
+// Positions exposes the bound position side-array (nil before Bind).
+func (t *Torus) Positions() *population.Positions { return t.pos }
+
+// MinFraction reports 0: nearest-neighbor matching gives no hard per-round
+// coverage guarantee (though realized coverage is high).
+func (t *Torus) MinFraction() float64 { return 0 }
+
+// Name reports "torus(σ)".
+func (t *Torus) Name() string { return fmt.Sprintf("torus(%.3g)", t.Sigma) }
+
+// SampleMatch implements Matcher with nearest-available matching over the
+// bound positions, drawing the visit order from src.
+func (t *Torus) SampleMatch(pop *population.Population, src *prng.Source, p *Pairing) {
+	if t.pos == nil {
+		panic("match: Torus used before Bind")
+	}
+	t.sample(pop.Len(), src, p)
+}
+
+// SampleProbe draws one matching from a dedicated probe stream split off at
+// Bind time. Measurement probes (e.g. color-agreement sampling between
+// rounds) use it so they perturb neither the simulation's matching stream
+// nor the placement stream: a probed and an unprobed run of the same
+// configuration stay on identical trajectories.
+func (t *Torus) SampleProbe(pop *population.Population, p *Pairing) {
+	if t.pos == nil {
+		panic("match: Torus used before Bind")
+	}
+	t.sample(pop.Len(), t.probeSrc, p)
+}
+
+// daughter places a daughter near its parent: a Gaussian offset of standard
+// deviation Sigma via Box-Muller from two uniforms, wrapped onto the torus.
+func (t *Torus) daughter(parent population.Point) population.Point {
+	u1 := t.src.Float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := t.src.Float64()
+	r := t.Sigma * math.Sqrt(-2*math.Log(u1))
+	x := parent.X + r*math.Cos(2*math.Pi*u2)
+	y := parent.Y + r*math.Sin(2*math.Pi*u2)
+	return population.Point{X: wrap(x), Y: wrap(y)}
+}
+
+// wrap reduces a coordinate into [0, 1).
+func wrap(v float64) float64 {
+	v = math.Mod(v, 1)
+	if v < 0 {
+		v++
+	}
+	return v
+}
+
+// TorusDist2 is the squared toroidal distance between two points.
+func TorusDist2(a, b population.Point) float64 {
+	dx := math.Abs(a.X - b.X)
+	if dx > 0.5 {
+		dx = 1 - dx
+	}
+	dy := math.Abs(a.Y - b.Y)
+	if dy > 0.5 {
+		dy = 1 - dy
+	}
+	return dx*dx + dy*dy
+}
+
+// sample pairs each agent with the nearest unmatched agent within its 3×3
+// grid neighborhood, visiting agents in random order from src.
+func (t *Torus) sample(n int, src *prng.Source, p *Pairing) {
+	p.Reset(n)
+	if n < 2 {
+		return
+	}
+	pos := t.pos.Slice()
+	side := int(math.Sqrt(float64(n)))
+	if side < 1 {
+		side = 1
+	}
+	if cap(t.grid) < side*side {
+		t.grid = make([][]int32, side*side)
+	}
+	t.grid = t.grid[:side*side]
+	for i := range t.grid {
+		t.grid[i] = t.grid[i][:0]
+	}
+	cellOf := func(pt population.Point) (int, int) {
+		cx := int(pt.X * float64(side))
+		cy := int(pt.Y * float64(side))
+		if cx >= side {
+			cx = side - 1
+		}
+		if cy >= side {
+			cy = side - 1
+		}
+		return cx, cy
+	}
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(pos[i])
+		idx := cy*side + cx
+		t.grid[idx] = append(t.grid[idx], int32(i))
+	}
+
+	order := src.Perm(n)
+	for _, i := range order {
+		if p.Nbr[i] != Unmatched {
+			continue
+		}
+		cx, cy := cellOf(pos[i])
+		best := int32(-1)
+		bestD := math.Inf(1)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				gx := (cx + dx + side) % side
+				gy := (cy + dy + side) % side
+				for _, j := range t.grid[gy*side+gx] {
+					if int(j) == i || p.Nbr[j] != Unmatched {
+						continue
+					}
+					if d := TorusDist2(pos[i], pos[j]); d < bestD {
+						bestD = d
+						best = j
+					}
+				}
+			}
+		}
+		if best >= 0 {
+			p.Nbr[i] = best
+			p.Nbr[best] = int32(i)
+		}
+	}
+}

@@ -42,10 +42,32 @@ func (a Action) String() string {
 	}
 }
 
+// Tracker observes the population's structural mutations so a side-array —
+// per-agent data the model itself does not store, such as spatial positions
+// (Positions) or program tags (internal/rogue) — stays index-aligned with
+// the agent states. Every hook is invoked after the corresponding mutation
+// of the state array, from the single goroutine that owns the population
+// (all structural mutation is serial; see DESIGN.md §5).
+type Tracker interface {
+	// Attached is called once, at registration, with the population's
+	// current size; the tracker initializes its side-array to n entries.
+	Attached(n int)
+	// Inserted reports one agent appended at index i (= new length − 1).
+	Inserted(i int)
+	// DeletedSwap reports a swap-deletion: the agent at index last moved
+	// into slot i and the population shrank by one.
+	DeletedSwap(i, last int)
+	// Applied reports one Apply compaction pass; the tracker replays the
+	// identical stable compaction (and daughter appends for ActSplit) over
+	// its own array.
+	Applied(actions []Action)
+}
+
 // Population is the mutable set of living agents. It is not safe for
 // concurrent use; the simulator owns it on a single goroutine.
 type Population struct {
-	states []agent.State
+	states   []agent.State
+	trackers []Tracker
 }
 
 // New returns a population of n agents in the all-zero initial state, as at
@@ -63,6 +85,14 @@ func FromStates(states []agent.State) *Population {
 	return &Population{states: s}
 }
 
+// Attach registers a side-array tracker and initializes it to the current
+// size. Trackers are notified of every subsequent structural mutation, in
+// attachment order. Clone and FromStates do not carry trackers over.
+func (p *Population) Attach(t Tracker) {
+	p.trackers = append(p.trackers, t)
+	t.Attached(len(p.states))
+}
+
 // Len reports the number of living agents.
 func (p *Population) Len() int { return len(p.states) }
 
@@ -76,7 +106,11 @@ func (p *Population) Ref(i int) *agent.State { return &p.states[i] }
 // Insert adds an agent with the given state and returns its index.
 func (p *Population) Insert(s agent.State) int {
 	p.states = append(p.states, s)
-	return len(p.states) - 1
+	i := len(p.states) - 1
+	for _, t := range p.trackers {
+		t.Inserted(i)
+	}
+	return i
 }
 
 // DeleteSwap removes agent i by swapping in the last agent. Indices of other
@@ -85,6 +119,9 @@ func (p *Population) DeleteSwap(i int) {
 	last := len(p.states) - 1
 	p.states[i] = p.states[last]
 	p.states = p.states[:last]
+	for _, t := range p.trackers {
+		t.DeletedSwap(i, last)
+	}
 }
 
 // DeleteDescending removes the agents at the given indices, which MUST be
@@ -111,40 +148,50 @@ func (p *Population) Apply(actions []Action) (births, deaths int) {
 	if len(actions) != len(p.states) {
 		panic(fmt.Sprintf("population: %d actions for %d agents", len(actions), len(p.states)))
 	}
-	w := 0
-	splits := 0
-	for i, act := range actions {
+	for _, act := range actions {
 		switch act {
 		case ActDie:
 			deaths++
 		case ActSplit:
-			splits++
-			p.states[w] = p.states[i]
-			w++
-		default:
-			p.states[w] = p.states[i]
-			w++
+			births++
 		}
 	}
-	p.states = p.states[:w]
-	if splits > 0 {
-		// The compaction above is stable, so survivor k of the original
-		// order now sits at compacted index k. Walk the actions again,
-		// appending one daughter per split; daughters land after the
-		// compacted prefix and take no action this round.
-		r := 0
-		for _, act := range actions {
-			if act == ActDie {
-				continue
-			}
-			if act == ActSplit {
-				p.states = append(p.states, p.states[r])
-				births++
-			}
-			r++
-		}
+	p.states = ReplayApply(p.states, actions, func(parent agent.State) agent.State { return parent })
+	for _, t := range p.trackers {
+		t.Applied(actions)
 	}
 	return births, deaths
+}
+
+// ReplayApply is the one copy of Apply's compaction invariant, shared by the
+// agent-state array and every side-array tracker: it stably compacts arr by
+// dropping ActDie entries, then — because survivor k of the original order
+// now sits at compacted index k — walks the actions again and appends one
+// spawn(arr[k]) daughter per ActSplit, in action order. Daughters land after
+// the compacted prefix and are never themselves walked. Trackers replaying
+// the same actions over their own arrays therefore stay index-aligned with
+// the population by construction.
+func ReplayApply[T any](arr []T, actions []Action, spawn func(parent T) T) []T {
+	w := 0
+	for i, act := range actions {
+		if act == ActDie {
+			continue
+		}
+		arr[w] = arr[i]
+		w++
+	}
+	arr = arr[:w]
+	r := 0
+	for _, act := range actions {
+		if act == ActDie {
+			continue
+		}
+		if act == ActSplit {
+			arr = append(arr, spawn(arr[r]))
+		}
+		r++
+	}
+	return arr
 }
 
 // ForEach invokes fn with each agent's index and a copy of its state.

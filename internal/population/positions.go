@@ -1,0 +1,73 @@
+package population
+
+// Point is a position on the unit 2-torus. The model's agents are
+// anonymous and unlocated; positions exist only for spatial communication
+// models (paper §1.2, "Alternate communication models") and live in a side-
+// array rather than in agent.State.
+type Point struct {
+	X, Y float64
+}
+
+// Positions is a per-agent position side-array kept index-aligned with a
+// Population via the Tracker hooks. Spatial matchers (match.Torus) own one
+// and register it with Population.Attach; the placement closures encode the
+// model's geometry:
+//
+//   - Place positions an agent that did not arise from a split — the initial
+//     population, adversarial insertions, and ForceResize padding ("inserted
+//     agents appear wherever the adversary chooses"; the default is uniform);
+//   - Spawn positions a daughter relative to its parent ("daughters of a
+//     split appear next to their parent", cell division).
+//
+// Both closures run only from the serial phases of the round (apply,
+// adversary turn), so any randomness they consume is deterministic and
+// independent of the engine's worker count.
+type Positions struct {
+	// Place returns a fresh position for a non-daughter agent. Required.
+	Place func() Point
+	// Spawn places a daughter given its parent's position. Required.
+	Spawn func(parent Point) Point
+
+	pos []Point
+}
+
+var _ Tracker = (*Positions)(nil)
+
+// Len reports the number of tracked positions.
+func (ps *Positions) Len() int { return len(ps.pos) }
+
+// At returns agent i's position.
+func (ps *Positions) At(i int) Point { return ps.pos[i] }
+
+// Slice exposes the underlying position array for read access on hot paths
+// (grid bucketing). The slice is invalidated by any structural mutation.
+func (ps *Positions) Slice() []Point { return ps.pos }
+
+// Attached implements Tracker: every initial agent gets a Place position.
+func (ps *Positions) Attached(n int) {
+	ps.pos = make([]Point, 0, n+n/2)
+	for i := 0; i < n; i++ {
+		ps.pos = append(ps.pos, ps.Place())
+	}
+}
+
+// Inserted implements Tracker: inserted agents get a Place position.
+func (ps *Positions) Inserted(i int) {
+	if i != len(ps.pos) {
+		panic("population: Positions out of sync with population on insert")
+	}
+	ps.pos = append(ps.pos, ps.Place())
+}
+
+// DeletedSwap implements Tracker.
+func (ps *Positions) DeletedSwap(i, last int) {
+	ps.pos[i] = ps.pos[last]
+	ps.pos = ps.pos[:last]
+}
+
+// Applied implements Tracker: it replays Apply's stable compaction over the
+// position array, Spawning one daughter position per split in the same
+// order Apply appends daughter states.
+func (ps *Positions) Applied(actions []Action) {
+	ps.pos = ReplayApply(ps.pos, actions, ps.Spawn)
+}

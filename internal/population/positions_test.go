@@ -1,0 +1,133 @@
+package population
+
+import (
+	"testing"
+
+	"popstab/internal/agent"
+	"popstab/internal/prng"
+)
+
+// newTestPositions attaches a Positions side-array with deterministic
+// placement: Place draws uniformly from src, Spawn copies the parent.
+func newTestPositions(p *Population, src *prng.Source) *Positions {
+	ps := &Positions{
+		Place: func() Point { return Point{X: src.Float64(), Y: src.Float64()} },
+		Spawn: func(parent Point) Point { return parent },
+	}
+	p.Attach(ps)
+	return ps
+}
+
+func TestPositionsAttachInitializes(t *testing.T) {
+	p := New(7)
+	ps := newTestPositions(p, prng.New(1))
+	if ps.Len() != 7 {
+		t.Fatalf("Len = %d after attach", ps.Len())
+	}
+	for i := 0; i < ps.Len(); i++ {
+		pt := ps.At(i)
+		if pt.X < 0 || pt.X >= 1 || pt.Y < 0 || pt.Y >= 1 {
+			t.Fatalf("position %d out of unit square: %+v", i, pt)
+		}
+	}
+}
+
+func TestPositionsTrackInsertDelete(t *testing.T) {
+	p := New(3)
+	ps := newTestPositions(p, prng.New(2))
+	p.Insert(agent.State{Round: 9})
+	if ps.Len() != 4 {
+		t.Fatalf("Len = %d after insert", ps.Len())
+	}
+	lastPos := ps.At(3)
+	p.DeleteSwap(0)
+	if ps.Len() != 3 {
+		t.Fatalf("Len = %d after delete", ps.Len())
+	}
+	// Swap-delete must move the last position into slot 0, mirroring states.
+	if ps.At(0) != lastPos {
+		t.Errorf("slot 0 position %+v, want swapped-in %+v", ps.At(0), lastPos)
+	}
+	if p.State(0).Round != 9 {
+		t.Errorf("state array did not swap as expected")
+	}
+}
+
+// TestPositionsApplyMirrorsStates runs a mixed action vector and asserts
+// positions stay aligned: survivors keep their position, daughters Spawn
+// from their parent, in exactly the order Apply appends daughter states.
+func TestPositionsApplyMirrorsStates(t *testing.T) {
+	states := []agent.State{
+		{Round: 0}, {Round: 1}, {Round: 2}, {Round: 3}, {Round: 4},
+	}
+	p := FromStates(states)
+	marks := []Point{{0.0, 0}, {0.1, 0}, {0.2, 0}, {0.3, 0}, {0.4, 0}}
+	i := 0
+	ps := &Positions{
+		Place: func() Point { pt := marks[i]; i++; return pt },
+		Spawn: func(parent Point) Point { return Point{parent.X, parent.Y + 1} },
+	}
+	p.Attach(ps)
+
+	actions := []Action{ActSplit, ActDie, ActKeep, ActSplit, ActDie}
+	p.Apply(actions)
+	if p.Len() != 5 || ps.Len() != 5 {
+		t.Fatalf("len states=%d positions=%d, want 5", p.Len(), ps.Len())
+	}
+	// Survivors: original slots 0, 2, 3 keep their marks.
+	for slot, want := range []Point{{0.0, 0}, {0.2, 0}, {0.3, 0}} {
+		if ps.At(slot) != want {
+			t.Errorf("survivor slot %d position %+v, want %+v", slot, ps.At(slot), want)
+		}
+	}
+	// Daughters of parents 0 and 3, spawned in split order.
+	if ps.At(3) != (Point{0.0, 1}) || ps.At(4) != (Point{0.3, 1}) {
+		t.Errorf("daughter positions %+v, %+v", ps.At(3), ps.At(4))
+	}
+	if p.State(3).Round != 0 || p.State(4).Round != 3 {
+		t.Errorf("daughter states misaligned with positions")
+	}
+}
+
+// TestPositionsForceResize exercises the tracker through ForceResize's
+// delete/insert composition.
+func TestPositionsForceResize(t *testing.T) {
+	p := New(10)
+	ps := newTestPositions(p, prng.New(3))
+	p.ForceResize(4, 0)
+	if ps.Len() != 4 {
+		t.Fatalf("Len = %d after shrink", ps.Len())
+	}
+	p.ForceResize(9, 2)
+	if ps.Len() != 9 {
+		t.Fatalf("Len = %d after grow", ps.Len())
+	}
+}
+
+// TestPositionsRandomizedAlignment is a property test: under a random
+// sequence of inserts, swap-deletes and Apply passes, the side-array length
+// always equals the population length.
+func TestPositionsRandomizedAlignment(t *testing.T) {
+	src := prng.New(99)
+	p := New(32)
+	ps := newTestPositions(p, prng.New(100))
+	for step := 0; step < 500; step++ {
+		switch src.Intn(3) {
+		case 0:
+			p.Insert(agent.State{})
+		case 1:
+			if p.Len() > 0 {
+				p.DeleteSwap(src.Intn(p.Len()))
+			}
+		default:
+			actions := make([]Action, p.Len())
+			for i := range actions {
+				actions[i] = Action(src.Intn(3))
+			}
+			p.Apply(actions)
+		}
+		if ps.Len() != p.Len() {
+			t.Fatalf("step %d: positions %d != population %d", step, ps.Len(), p.Len())
+		}
+	}
+}

@@ -25,6 +25,16 @@
 //     message like any other (a zero message: inactive, not recruiting, not
 //     in the evaluation phase).
 //
+// Since the multi-layer unification (DESIGN.md §5) the package is no longer
+// a forked engine: Overlay wraps any sim.Stepper as a sim.ExtendedStepper —
+// the program tags and replication cooldowns live in a side-array kept
+// aligned through population.Tracker, detection kills travel through the
+// engine's neighbor-removal channel, and infiltration rides the StartRound
+// hook. Engine is a thin constructor over the unified sim.Engine, so the
+// extension inherits Workers sharding, counter-based per-agent randomness,
+// RoundReport/EpochReport, adversary support, and arbitrary communication
+// models (rogues on a spatial torus: Config.Matcher) for free.
+//
 // The containment condition is a branching-process balance: a rogue doubles
 // every R rounds and survives each round with probability 1 − γ·h·DetectProb
 // (h = honest fraction), so its per-round log growth is
@@ -36,9 +46,9 @@ package rogue
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 
+	"popstab/internal/adversary"
 	"popstab/internal/agent"
 	"popstab/internal/match"
 	"popstab/internal/params"
@@ -62,15 +72,195 @@ const (
 	Rogue
 )
 
-// Agent is one member of the extended system: protocol state plus the
-// program tag and the rogue replication cooldown.
-type Agent struct {
-	// State is the protocol memory (meaningful for honest agents).
-	State agent.State
-	// Program tags the agent's code.
-	Program Program
+// meta is one agent's extension state: the program tag and the rogue
+// replication cooldown. It lives in the Overlay's side-array, aligned with
+// the population through the Tracker hooks.
+type meta struct {
+	// prog tags the agent's code.
+	prog Program
 	// cooldown counts rounds until a rogue may replicate again.
 	cooldown uint32
+}
+
+// Stats accumulates extension-specific event counts. The overlay increments
+// them atomically (the step phase may run concurrently across shards);
+// totals are deterministic across worker counts.
+type Stats struct {
+	// RogueKills counts rogues removed by honest agents.
+	RogueKills uint64
+	// RogueSplits counts rogue replications.
+	RogueSplits uint64
+	// FailedDetections counts contacts where a rogue went unnoticed
+	// (detection never false-positives in this model, so honest agents are
+	// never removed by the guard).
+	FailedDetections uint64
+}
+
+// Overlay wraps an inner per-agent program with the malicious-program
+// semantics, turning the forked engine of the pre-unification design into a
+// plain sim.ExtendedStepper. It also implements population.Tracker (the
+// program side-array follows splits, kills, adversarial alterations, and
+// forced resizes) and sim.RoundStarter (continuous infiltration at epoch
+// boundaries). Attach it to the engine's population before the first round;
+// NewEngine does all of this wiring.
+type Overlay struct {
+	inner          sim.Stepper
+	epochLen       int
+	replicateEvery uint32
+	detectProb     float64
+	roguesPerEpoch int
+
+	meta  []meta
+	stats Stats
+}
+
+var (
+	_ sim.ExtendedStepper = (*Overlay)(nil)
+	_ sim.RoundStarter    = (*Overlay)(nil)
+	_ population.Tracker  = (*Overlay)(nil)
+)
+
+// NewOverlay validates the extension parameters and wraps inner.
+func NewOverlay(inner sim.Stepper, replicateEvery int, detectProb float64, roguesPerEpoch int) (*Overlay, error) {
+	if inner == nil {
+		return nil, errors.New("rogue: nil inner program")
+	}
+	if replicateEvery < 1 {
+		return nil, errors.New("rogue: ReplicateEvery must be >= 1")
+	}
+	if detectProb < 0 || detectProb > 1 {
+		return nil, fmt.Errorf("rogue: DetectProb %v outside [0, 1]", detectProb)
+	}
+	if roguesPerEpoch < 0 {
+		return nil, errors.New("rogue: negative RoguesPerEpoch")
+	}
+	return &Overlay{
+		inner:          inner,
+		epochLen:       inner.EpochLen(),
+		replicateEvery: uint32(replicateEvery),
+		detectProb:     detectProb,
+		roguesPerEpoch: roguesPerEpoch,
+	}, nil
+}
+
+// Stats returns the accumulated extension counters.
+func (o *Overlay) Stats() Stats { return o.stats }
+
+// Counts reports the honest and rogue populations.
+func (o *Overlay) Counts() (honest, rogue int) {
+	for i := range o.meta {
+		if o.meta[i].prog == Rogue {
+			rogue++
+		} else {
+			honest++
+		}
+	}
+	return honest, rogue
+}
+
+// InsertRogue appends a fresh rogue agent (zero protocol state, full
+// replication cooldown) to the population. The overlay must already be
+// attached to pop.
+func (o *Overlay) InsertRogue(pop *population.Population) {
+	i := pop.Insert(agent.State{})
+	o.meta[i] = meta{prog: Rogue, cooldown: o.replicateEvery}
+}
+
+// EpochLen implements sim.ExtendedStepper with the inner program's epoch.
+func (o *Overlay) EpochLen() int { return o.epochLen }
+
+// Decode implements sim.ExtendedStepper.
+func (o *Overlay) Decode(b uint8) wire.Message { return o.inner.Decode(b) }
+
+// ComposeAt implements sim.ExtendedStepper: honest agents compose the inner
+// protocol's message; rogues send garbage (a zero byte decodes to an
+// inactive, non-recruiting, non-evaluating agent).
+func (o *Overlay) ComposeAt(i int, s *agent.State) uint8 {
+	if o.meta[i].prog != Honest {
+		return 0
+	}
+	return o.inner.Compose(s)
+}
+
+// StepAt implements sim.ExtendedStepper.
+//
+// Rogues run the malicious program — ignore everyone, replicate as often as
+// the rate bound allows — and consume no randomness. Honest agents first
+// run the detection guard: on contact with a foreign program they draw the
+// detection coin from their per-agent stream and, on success, remove the
+// neighbor through the kill channel, treating the interaction as ⊥ for
+// their own protocol step. Program tags are immutable within a round, so
+// reading the neighbor's tag races with nothing; the neighbor's cooldown is
+// written only by its owning shard and never read here.
+func (o *Overlay) StepAt(i, j int, s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) (population.Action, bool) {
+	a := &o.meta[i]
+	if a.prog == Rogue {
+		if a.cooldown > 0 {
+			a.cooldown--
+		}
+		if a.cooldown == 0 {
+			a.cooldown = o.replicateEvery
+			atomic.AddUint64(&o.stats.RogueSplits, 1)
+			return population.ActSplit, false
+		}
+		return population.ActKeep, false
+	}
+
+	kill := false
+	if hasNbr && o.meta[j].prog != a.prog {
+		if src.Prob(o.detectProb) {
+			kill = true
+			atomic.AddUint64(&o.stats.RogueKills, 1)
+			// The interaction is consumed by the removal: the honest
+			// agent's own step sees no neighbor.
+			hasNbr = false
+			nbr = wire.Message{}
+		} else {
+			atomic.AddUint64(&o.stats.FailedDetections, 1)
+		}
+	}
+	return o.inner.Step(s, nbr, hasNbr, src), kill
+}
+
+// StartRound implements sim.RoundStarter: continuous infiltration inserts
+// RoguesPerEpoch fresh rogues at every epoch boundary, before the
+// adversary's turn and the matching.
+func (o *Overlay) StartRound(pop *population.Population, round uint64) {
+	if o.roguesPerEpoch == 0 || round%uint64(o.epochLen) != 0 {
+		return
+	}
+	for i := 0; i < o.roguesPerEpoch; i++ {
+		o.InsertRogue(pop)
+	}
+}
+
+// Attached implements population.Tracker: the initial population is honest.
+func (o *Overlay) Attached(n int) {
+	o.meta = make([]meta, n, n+n/2)
+}
+
+// Inserted implements population.Tracker: insertions default to the honest
+// program (the base model's adversary inserts protocol-following agents
+// with adversarial state; InsertRogue retags its own insertions).
+func (o *Overlay) Inserted(i int) {
+	if i != len(o.meta) {
+		panic("rogue: Overlay out of sync with population on insert")
+	}
+	o.meta = append(o.meta, meta{})
+}
+
+// DeletedSwap implements population.Tracker.
+func (o *Overlay) DeletedSwap(i, last int) {
+	o.meta[i] = o.meta[last]
+	o.meta = o.meta[:last]
+}
+
+// Applied implements population.Tracker: it replays Apply's stable
+// compaction over the program side-array; daughters inherit their parent's
+// post-step tag and cooldown (a splitting rogue's cooldown was re-armed in
+// StepAt, so both copies wait a full period).
+func (o *Overlay) Applied(actions []population.Action) {
+	o.meta = population.ReplayApply(o.meta, actions, func(parent meta) meta { return parent })
 }
 
 // Config assembles the extended simulation.
@@ -89,271 +279,96 @@ type Config struct {
 	// RoguesPerEpoch inserts this many additional rogues at every honest
 	// epoch boundary (continuous infiltration).
 	RoguesPerEpoch int
-	// Scheduler defaults to the uniform γ-matching from Params.
+	// Scheduler defaults to the uniform γ-matching from Params. At most one
+	// of Scheduler and Matcher may be set.
 	Scheduler match.Scheduler
+	// Matcher overrides Scheduler with a population-state-aware
+	// communication model — rogues on the spatial torus compose via
+	// match.NewTorus.
+	Matcher match.Matcher
+	// Adversary additionally attacks the protocol state every round within
+	// budget K (nil = none): the state-adversary of the base model composed
+	// with the program-adversary of this extension.
+	Adversary adversary.Adversary
+	// K is the adversary's per-round alteration budget.
+	K int
 	// Seed derives all randomness.
 	Seed uint64
+	// InitialSize overrides the starting honest population (default
+	// Params.N); InitialRogues are added on top.
+	InitialSize int
 	// Workers sets the number of goroutines sharding the compose and step
 	// phases: 0 means runtime.NumCPU(), 1 forces the serial path. As in
 	// internal/sim, output is bit-identical across all worker counts.
 	Workers int
 }
 
-// Stats accumulates extension-specific event counts. The engine increments
-// them atomically (the step phase may run concurrently across shards);
-// totals are deterministic across worker counts.
-type Stats struct {
-	// RogueKills counts rogues removed by honest agents.
-	RogueKills uint64
-	// RogueSplits counts rogue replications.
-	RogueSplits uint64
-	// FailedDetections counts contacts where a rogue went unnoticed
-	// (detection never false-positives in this model, so honest agents are
-	// never removed by the guard).
-	FailedDetections uint64
-}
-
-// Engine drives the extended system. Not safe for concurrent use by
-// callers; internally it shards the compose and step phases across
-// cfg.Workers goroutines with per-agent counter-based streams, exactly as
-// internal/sim does.
+// Engine drives the extended system: a thin wrapper over the unified
+// sim.Engine with the Overlay installed. All round, epoch, report, census,
+// and sizing machinery is the engine's own; this type only adds the
+// extension accessors. Not safe for concurrent use by callers.
 type Engine struct {
-	cfg     Config
-	proto   *protocol.Protocol
-	agents  []Agent
-	sched   match.Scheduler
-	workers int
-
-	// protoKey keys the counter-based per-agent streams: agent slot i of
-	// global round r draws from prng stream (protoKey, r, i).
-	protoKey uint64
-	schedSrc *prng.Source
-
-	pairing match.Pairing
-	msgs    []uint8
-	kill    []bool
-	acts    []action
-
-	round uint64
-	stats Stats
+	*sim.Engine
+	overlay *Overlay
 }
-
-// action is the per-agent fate within one extended round.
-type action uint8
-
-const (
-	actKeep action = iota
-	actDie
-	actSplit
-)
 
 // New validates cfg and builds the engine with Params.N honest agents plus
-// InitialRogues rogues.
+// InitialRogues rogues, running the paper protocol as the honest program.
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("rogue: %w", err)
-	}
-	if cfg.ReplicateEvery < 1 {
-		return nil, errors.New("rogue: ReplicateEvery must be >= 1")
-	}
-	if cfg.DetectProb < 0 || cfg.DetectProb > 1 {
-		return nil, fmt.Errorf("rogue: DetectProb %v outside [0, 1]", cfg.DetectProb)
-	}
-	if cfg.InitialRogues < 0 || cfg.RoguesPerEpoch < 0 {
-		return nil, errors.New("rogue: negative rogue counts")
-	}
-	if cfg.Scheduler == nil {
-		u, err := match.NewUniform(cfg.Params.Gamma)
-		if err != nil {
-			return nil, fmt.Errorf("rogue: %w", err)
-		}
-		cfg.Scheduler = u
-	}
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("rogue: negative worker count %d", cfg.Workers)
-	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.NumCPU()
 	}
 	pr, err := protocol.New(cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("rogue: %w", err)
 	}
-	root := prng.New(cfg.Seed)
-	e := &Engine{
-		cfg:      cfg,
-		proto:    pr,
-		sched:    cfg.Scheduler,
-		workers:  workers,
-		protoKey: root.Split().Uint64(),
-		schedSrc: root.Split(),
-	}
-	e.agents = make([]Agent, 0, cfg.Params.N+cfg.InitialRogues)
-	for i := 0; i < cfg.Params.N; i++ {
-		e.agents = append(e.agents, Agent{})
-	}
-	for i := 0; i < cfg.InitialRogues; i++ {
-		e.agents = append(e.agents, e.newRogue())
-	}
-	return e, nil
+	return NewEngine(cfg, pr)
 }
 
-// newRogue builds a fresh rogue agent with a full replication cooldown.
-func (e *Engine) newRogue() Agent {
-	return Agent{Program: Rogue, cooldown: uint32(e.cfg.ReplicateEvery)}
+// NewEngine builds the extended engine over an arbitrary honest program
+// (New specializes it to the paper protocol; the popstab facade passes
+// baselines through here too).
+func NewEngine(cfg Config, inner sim.Stepper) (*Engine, error) {
+	overlay, err := NewOverlay(inner, cfg.ReplicateEvery, cfg.DetectProb, cfg.RoguesPerEpoch)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InitialRogues < 0 {
+		return nil, errors.New("rogue: negative rogue counts")
+	}
+	size := cfg.InitialSize
+	if size == 0 {
+		size = cfg.Params.N
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("rogue: negative initial size %d", size)
+	}
+	pop := population.New(size)
+	pop.Attach(overlay)
+	for i := 0; i < cfg.InitialRogues; i++ {
+		overlay.InsertRogue(pop)
+	}
+	eng, err := sim.NewFromPopulation(sim.Config{
+		Params:    cfg.Params,
+		Extended:  overlay,
+		Scheduler: cfg.Scheduler,
+		Matcher:   cfg.Matcher,
+		Adversary: cfg.Adversary,
+		K:         cfg.K,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+	}, pop)
+	if err != nil {
+		return nil, fmt.Errorf("rogue: %w", err)
+	}
+	return &Engine{Engine: eng, overlay: overlay}, nil
 }
+
+// Overlay exposes the extension program (tags, cooldowns, stats).
+func (e *Engine) Overlay() *Overlay { return e.overlay }
 
 // Stats returns the accumulated extension counters.
-func (e *Engine) Stats() Stats { return e.stats }
-
-// Size reports the total number of agents.
-func (e *Engine) Size() int { return len(e.agents) }
+func (e *Engine) Stats() Stats { return e.overlay.Stats() }
 
 // Counts reports the honest and rogue populations.
-func (e *Engine) Counts() (honest, rogue int) {
-	for i := range e.agents {
-		if e.agents[i].Program == Rogue {
-			rogue++
-		} else {
-			honest++
-		}
-	}
-	return honest, rogue
-}
-
-// GlobalRound reports the number of completed rounds.
-func (e *Engine) GlobalRound() uint64 { return e.round }
-
-// RunRound executes one round of the extended system.
-func (e *Engine) RunRound() {
-	// Continuous infiltration at epoch boundaries.
-	t := uint64(e.cfg.Params.T)
-	if e.round%t == 0 && e.cfg.RoguesPerEpoch > 0 {
-		for i := 0; i < e.cfg.RoguesPerEpoch; i++ {
-			e.agents = append(e.agents, e.newRogue())
-		}
-	}
-
-	n := len(e.agents)
-	e.sched.Sample(n, e.schedSrc, &e.pairing)
-
-	if cap(e.msgs) < n {
-		c := n + n/2
-		e.msgs = make([]uint8, c)
-		e.kill = make([]bool, c)
-		e.acts = make([]action, c)
-	}
-	e.msgs = e.msgs[:n]
-	e.kill = e.kill[:n]
-	e.acts = e.acts[:n]
-
-	// Compose and step via internal/sim's shared shard machinery: a
-	// barrier separates the phases because steps read neighbors’ composed
-	// messages, and each honest agent draws its detection coin and protocol
-	// coins from the counter-based stream (protoKey, round, slot), making
-	// the outcome independent of shard boundaries. Cross-shard writes are
-	// confined to kill[j], which only the unique matched neighbor of j
-	// writes and only the serial apply pass reads.
-	sim.ShardComposeStep(n, e.workers, e.composeRange, func(lo, hi int) {
-		var src prng.Source
-		e.stepRange(lo, hi, &src)
-	})
-
-	e.apply()
-	e.round++
-}
-
-// composeRange composes outgoing messages and clears fate scratch for
-// agents [lo, hi).
-func (e *Engine) composeRange(lo, hi int) {
-	for i := lo; i < hi; i++ {
-		e.kill[i] = false
-		e.acts[i] = actKeep
-		if e.agents[i].Program == Honest {
-			e.msgs[i] = e.proto.Compose(&e.agents[i].State)
-		} else {
-			// Rogues send garbage; a zero byte decodes to an inactive,
-			// non-recruiting, non-evaluating agent.
-			e.msgs[i] = 0
-		}
-	}
-}
-
-// stepRange executes one round for agents [lo, hi), reseeding src per
-// honest agent (rogues consume no randomness).
-func (e *Engine) stepRange(lo, hi int, src *prng.Source) {
-	for i := lo; i < hi; i++ {
-		a := &e.agents[i]
-		j := e.pairing.Nbr[i]
-		hasNbr := j != match.Unmatched
-
-		if a.Program == Rogue {
-			// The malicious program: ignore everyone, replicate as often
-			// as the rate bound allows.
-			if a.cooldown > 0 {
-				a.cooldown--
-			}
-			if a.cooldown == 0 {
-				e.acts[i] = actSplit
-				a.cooldown = uint32(e.cfg.ReplicateEvery)
-				atomic.AddUint64(&e.stats.RogueSplits, 1)
-			}
-			continue
-		}
-
-		src.SeedCounter(e.protoKey, e.round, uint64(i))
-
-		// Honest agent: detect and remove foreign programs. Program tags
-		// are immutable within a round, so reading the neighbor’s tag
-		// races with nothing; kill[j] has a unique writer (j’s matched
-		// neighbor).
-		if hasNbr && e.agents[j].Program != a.Program {
-			if src.Prob(e.cfg.DetectProb) {
-				e.kill[j] = true
-				atomic.AddUint64(&e.stats.RogueKills, 1)
-				// The interaction is consumed by the removal: the honest
-				// agent’s own step sees no neighbor.
-				hasNbr = false
-			} else {
-				atomic.AddUint64(&e.stats.FailedDetections, 1)
-			}
-		}
-		var msg wire.Message
-		if hasNbr {
-			msg = e.proto.Decode(e.msgs[j])
-		}
-		switch e.proto.Step(&a.State, msg, hasNbr, src) {
-		case population.ActDie:
-			e.acts[i] = actDie
-		case population.ActSplit:
-			e.acts[i] = actSplit
-		}
-	}
-}
-
-// apply executes kills, deaths and splits in one compaction pass. Removal by
-// an honest agent overrides a same-round split decision (the victim is gone
-// before it can divide).
-func (e *Engine) apply() {
-	w := 0
-	var births []Agent
-	for i := range e.agents {
-		if e.kill[i] || e.acts[i] == actDie {
-			continue
-		}
-		if e.acts[i] == actSplit {
-			births = append(births, e.agents[i])
-		}
-		e.agents[w] = e.agents[i]
-		w++
-	}
-	e.agents = append(e.agents[:w], births...)
-}
-
-// RunEpoch runs T rounds (one honest-protocol epoch).
-func (e *Engine) RunEpoch() {
-	for i := 0; i < e.cfg.Params.T; i++ {
-		e.RunRound()
-	}
-}
+func (e *Engine) Counts() (honest, rogue int) { return e.overlay.Counts() }

@@ -1,8 +1,11 @@
 package rogue
 
 import (
+	"runtime"
 	"testing"
 
+	"popstab/internal/adversary"
+	"popstab/internal/match"
 	"popstab/internal/params"
 )
 
@@ -214,7 +217,9 @@ func TestGlobalRoundAdvances(t *testing.T) {
 
 // TestParallelDeterminism asserts the extended engine's trajectory
 // (population size, honest/rogue counts, stats) is bit-identical across
-// worker counts, mirroring internal/sim's golden determinism guarantee.
+// Workers ∈ {1, 2, NumCPU}, mirroring internal/sim's golden determinism
+// guarantee — now inherited rather than re-implemented, since the rogue
+// path is a Stepper wrapper over the unified engine.
 func TestParallelDeterminism(t *testing.T) {
 	run := func(workers int) ([]int, Stats) {
 		e, err := New(Config{
@@ -238,11 +243,150 @@ func TestParallelDeterminism(t *testing.T) {
 		return sizes, e.Stats()
 	}
 	wantSizes, wantStats := run(1)
-	for _, w := range []int{2, 8} {
+	for _, w := range []int{2, 8, runtime.NumCPU()} {
 		gotSizes, gotStats := run(w)
 		for i := range wantSizes {
 			if gotSizes[i] != wantSizes[i] {
 				t.Fatalf("workers=%d: trajectory diverged at sample %d: %d != %d",
+					w, i, gotSizes[i], wantSizes[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("workers=%d: stats diverged: %+v != %+v", w, gotStats, wantStats)
+		}
+	}
+}
+
+// TestGoldenTrajectory pins the exact trajectory of a fixed rogue
+// configuration, the extension twin of internal/sim's golden test: any
+// unintended semantic change to the overlay, the kill channel, the
+// infiltration hook, or the engine's stream derivation changes this number.
+// If a change is INTENDED, rerun with -v and update the constant.
+func TestGoldenTrajectory(t *testing.T) {
+	e, err := New(Config{
+		Params:         fastParams(t),
+		ReplicateEvery: 6,
+		DetectProb:     0.9,
+		InitialRogues:  32,
+		RoguesPerEpoch: 4,
+		Seed:           424242,
+		Workers:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checksum uint64
+	for i := 0; i < 300; i++ {
+		rep := e.RunRound()
+		h, r := e.Counts()
+		checksum = checksum*31 + uint64(rep.SizeAfter)
+		checksum = checksum*31 + uint64(h)*2 + uint64(r)*3 + uint64(rep.Kills)*5
+	}
+	const want = uint64(17192188877167158431)
+	if checksum != want {
+		t.Errorf("trajectory checksum changed: got %d, want %d\n"+
+			"(if this change is intentional, update the golden value)", checksum, want)
+	}
+}
+
+// TestKillsReportedPerRound asserts detection kills surface in the unified
+// engine's RoundReport and agree with the overlay's atomic counters.
+func TestKillsReportedPerRound(t *testing.T) {
+	p := fastParams(t)
+	e, err := New(Config{Params: p, ReplicateEvery: 16, DetectProb: 1,
+		InitialRogues: 64, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalKills := 0
+	for i := 0; i < 40; i++ {
+		rep := e.RunRound()
+		if rep.Kills > rep.Deaths {
+			t.Fatalf("round %d: kills %d exceed deaths %d", i, rep.Kills, rep.Deaths)
+		}
+		totalKills += rep.Kills
+	}
+	if got := e.Stats().RogueKills; got != uint64(totalKills) {
+		t.Errorf("stats kills %d != summed report kills %d", got, totalKills)
+	}
+	if totalKills == 0 {
+		t.Error("no kills recorded against 64 rogues at perfect detection")
+	}
+}
+
+// TestRogueWithStateAdversary composes the program-adversary (rogue
+// infiltration) with the base model's state-adversary — unreachable before
+// the unification — and asserts budget accounting and containment both
+// hold.
+func TestRogueWithStateAdversary(t *testing.T) {
+	p := fastParams(t)
+	paced := adversary.NewPaced(adversary.PerEpoch(p.T, p.MaxTolerableK(), 1),
+		adversary.NewGreedy())
+	e, err := New(Config{
+		Params: p, ReplicateEvery: 16, DetectProb: 1, InitialRogues: 32,
+		Adversary: paced, K: 1, Seed: 13, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	altered := 0
+	for ep := 0; ep < 3; ep++ {
+		rep := e.RunEpoch()
+		altered += rep.AdvInserted + rep.AdvDeleted
+	}
+	if altered == 0 {
+		t.Error("state adversary never acted on the rogue engine")
+	}
+	honest, rogues := e.Counts()
+	if rogues > 8 {
+		t.Errorf("rogues not contained under composed adversary: %d remain", rogues)
+	}
+	if honest < p.N/2 || honest > 2*p.N {
+		t.Errorf("honest population destabilized: %d", honest)
+	}
+}
+
+// TestRogueOnTorus runs the malicious-program extension under geometric
+// communication — the cross-product scenario the paper leaves open. Under
+// local matching a rogue patch protects its interior (rogues matched with
+// rogues trigger no detection), so containment needs a visibly longer
+// replication period than the well-mixed threshold R* ≈ 2.41; here we just
+// pin that the combination runs, stays deterministic across worker counts,
+// and that kills still happen at the patch boundary.
+func TestRogueOnTorus(t *testing.T) {
+	p := fastParams(t)
+	run := func(workers int) ([]int, Stats) {
+		tor, err := match.NewTorus(1.0 / 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{
+			Params: p, ReplicateEvery: 8, DetectProb: 1, InitialRogues: 64,
+			Matcher: tor, Seed: 21, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sizes []int
+		for i := 0; i < 150 && e.Size() < 4*p.N; i++ {
+			e.RunRound()
+			h, r := e.Counts()
+			sizes = append(sizes, e.Size(), h, r)
+		}
+		return sizes, e.Stats()
+	}
+	wantSizes, wantStats := run(1)
+	if wantStats.RogueKills == 0 {
+		t.Error("no boundary kills on the torus")
+	}
+	for _, w := range []int{2, runtime.NumCPU()} {
+		gotSizes, gotStats := run(w)
+		if len(gotSizes) != len(wantSizes) {
+			t.Fatalf("workers=%d: trajectory length %d != %d", w, len(gotSizes), len(wantSizes))
+		}
+		for i := range wantSizes {
+			if gotSizes[i] != wantSizes[i] {
+				t.Fatalf("workers=%d: torus trajectory diverged at sample %d: %d != %d",
 					w, i, gotSizes[i], wantSizes[i])
 			}
 		}

@@ -5,26 +5,44 @@
 //
 // One round proceeds as (see DESIGN.md §5):
 //
-//  1. the adversary observes all agent memory and stages up to K
+//  1. the program's StartRound hook runs, if any (e.g. rogue infiltration);
+//  2. the adversary observes all agent memory and stages up to K
 //     insertions/deletions, which are applied before the matching is drawn
 //     (the adversary never knows the schedule in advance, §2);
-//  2. a random matching covering at least a γ fraction of agents is sampled;
-//  3. every agent composes its outgoing message from its pre-round state;
-//  4. messages are delivered simultaneously; unmatched agents receive ⊥;
-//  5. every agent executes one protocol step, yielding keep/die/split;
-//  6. deaths and births are applied in one pass; daughters act next round.
+//  3. the matcher samples the round's pairing — a uniformly random matching
+//     covering at least a γ fraction of agents in the well-mixed model, or a
+//     population-state-aware matching such as nearest-neighbor on the torus;
+//  4. every agent composes its outgoing message from its pre-round state;
+//  5. messages are delivered simultaneously; unmatched agents receive ⊥;
+//  6. every agent executes one protocol step, yielding keep/die/split (and,
+//     for extended programs, optionally removing its matched neighbor);
+//  7. deaths, neighbor-kills and births are applied in one pass; daughters
+//     act next round.
 //
-// The engine is deterministic given its seed: scheduler and adversary draw
-// from independent split-off streams, and every protocol coin flip comes
-// from a counter-based stream keyed on (seed, global round, agent slot), so
-// swapping the adversary never perturbs protocol coin flips (paired
-// comparison across experiment arms) and per-agent randomness is
+// The engine is generic over two seams, which is what lets the §1.2
+// extensions share one round loop instead of forking it (they used to be
+// three separate engines):
+//
+//   - the communication model is a match.Matcher — plain schedulers adapt
+//     via match.FromScheduler; spatial matchers (match.Torus) attach a
+//     population.Positions side-array at Bind time so daughter placement and
+//     adversarial insertion stay aligned with the agent states;
+//   - the agent program is a Stepper, or an ExtendedStepper for programs
+//     that carry per-slot side state and use the neighbor-removal power
+//     (internal/rogue's honest/rogue overlay).
+//
+// The engine is deterministic given its seed: matcher, adversary, and binder
+// draw from independent split-off streams, and every protocol coin flip
+// comes from a counter-based stream keyed on (seed, global round, agent
+// slot), so swapping the adversary never perturbs protocol coin flips
+// (paired comparison across experiment arms) and per-agent randomness is
 // independent of iteration order. That order-independence is what lets the
 // Compose and Step phases shard across a worker pool (Config.Workers):
 // simulation output is bit-identical for every worker count, including the
-// serial Workers=1 path. The matching, apply, and adversary phases stay
-// serial — they are O(γn) or event-bound, and the adversary is sequential
-// by its budget semantics. See DESIGN.md §5 for the phase structure.
+// serial Workers=1 path, for every matcher and program. The matching,
+// apply, and adversary phases stay serial — they are O(γn) or event-bound,
+// and the adversary is sequential by its budget semantics. See DESIGN.md §5
+// for the phase structure.
 package sim
 
 import (
@@ -65,15 +83,58 @@ type Stepper interface {
 	Step(s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) population.Action
 }
 
+// ExtendedStepper is the indexed generalization of Stepper for programs that
+// carry per-slot extension state outside agent.State (a side-array kept
+// aligned via population.Tracker) and that may use the paper's §1.2
+// agent-removal power. internal/rogue's honest/rogue overlay is the
+// canonical implementation.
+//
+// The Stepper concurrency contract applies unchanged: ComposeAt and StepAt
+// run concurrently across shards, each slot from exactly one goroutine per
+// round. StepAt may additionally read the *matched neighbor's* extension
+// state (slot j); implementations must confine cross-slot writes to the
+// returned killNbr channel, which has a unique writer per victim (the
+// victim's matched neighbor) and is only read by the serial apply phase.
+type ExtendedStepper interface {
+	// EpochLen reports the protocol's epoch length in rounds.
+	EpochLen() int
+	// Decode decodes a received message byte.
+	Decode(b uint8) wire.Message
+	// ComposeAt encodes the message agent slot i sends this round.
+	ComposeAt(i int, s *agent.State) uint8
+	// StepAt executes one round for slot i, matched with slot j (j < 0 and
+	// hasNbr false when unmatched). Returning killNbr true removes the
+	// matched neighbor at the end of the round, overriding the victim's own
+	// action (the victim is gone before it can divide).
+	StepAt(i, j int, s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) (act population.Action, killNbr bool)
+}
+
+// RoundStarter is an optional program capability: StartRound runs at the top
+// of every round, before the adversary's turn, on the engine's goroutine.
+// internal/rogue uses it for continuous infiltration at epoch boundaries.
+type RoundStarter interface {
+	StartRound(pop *population.Population, round uint64)
+}
+
 // Config assembles an engine.
 type Config struct {
 	// Params is the model parameterization (N, γ, α, epoch shape).
 	Params params.Params
-	// Protocol is the per-agent program. Required.
+	// Protocol is the per-agent program. Exactly one of Protocol and
+	// Extended must be set.
 	Protocol Stepper
-	// Scheduler samples each round's matching. Defaults to
-	// match.Uniform{Gamma: Params.Gamma}.
+	// Extended is the indexed per-agent program with side state and the
+	// neighbor-removal channel (see ExtendedStepper). Exactly one of
+	// Protocol and Extended must be set.
+	Extended ExtendedStepper
+	// Scheduler samples each round's matching from the population size
+	// alone. Defaults to match.Uniform{Gamma: Params.Gamma}. At most one of
+	// Scheduler and Matcher may be set.
 	Scheduler match.Scheduler
+	// Matcher is the population-state-aware communication model (e.g.
+	// match.Torus); it overrides Scheduler. Matchers implementing
+	// match.Binder are bound to the population at construction.
+	Matcher match.Matcher
 	// Adversary attacks each round. Defaults to adversary.None.
 	Adversary adversary.Adversary
 	// K is the adversary's per-round alteration budget.
@@ -99,11 +160,14 @@ type RoundReport struct {
 	// Round is the global index of the completed round (0-based).
 	Round uint64
 	// SizeBefore and SizeAfter are the population sizes at the round's
-	// start (before the adversary) and end.
+	// start (after the StartRound hook, before the adversary) and end.
 	SizeBefore, SizeAfter int
 	// Births and Deaths count protocol splits and deaths (consistency
-	// deaths included).
+	// deaths and neighbor-kills included).
 	Births, Deaths int
+	// Kills counts agents removed through the extended program's
+	// neighbor-removal channel this round (also included in Deaths).
+	Kills int
 	// AdvInserted and AdvDeleted count the adversary's alterations.
 	AdvInserted, AdvDeleted int
 }
@@ -116,8 +180,9 @@ type EpochReport struct {
 	StartSize, EndSize int
 	// MinSize and MaxSize are the extremes seen at round boundaries.
 	MinSize, MaxSize int
-	// Births, Deaths, AdvInserted, AdvDeleted are summed over the epoch.
-	Births, Deaths, AdvInserted, AdvDeleted int
+	// Births, Deaths, Kills, AdvInserted, AdvDeleted are summed over the
+	// epoch.
+	Births, Deaths, Kills, AdvInserted, AdvDeleted int
 }
 
 // Delta reports the net population change over the epoch.
@@ -128,9 +193,18 @@ func (e EpochReport) Delta() int { return e.EndSize - e.StartSize }
 type Engine struct {
 	cfg     Config
 	pop     *population.Population
-	sched   match.Scheduler
+	matcher match.Matcher
 	adv     adversary.Adversary
 	workers int
+
+	// proto and xproto are the two program seams; exactly one is non-nil.
+	proto  Stepper
+	xproto ExtendedStepper
+	// starter is the optional per-round hook of the program.
+	starter RoundStarter
+	// epochLen caches the program's EpochLen(), read on every round by the
+	// epoch/census accounting and the adversary view.
+	epochLen int
 
 	// protoKey keys the counter-based per-agent protocol streams: agent
 	// slot i of global round r draws from prng stream (protoKey, r, i).
@@ -141,30 +215,39 @@ type Engine struct {
 	pairing match.Pairing
 	msgs    []uint8
 	actions []population.Action
+	// kill is the extended programs' neighbor-removal mask; nil for plain
+	// Steppers. kill[j] has a unique writer per round (j's matched
+	// neighbor) and is read only by the serial apply phase.
+	kill []bool
 
 	round uint64
 }
 
 // NewFromPopulation builds an engine over an existing population, taking
-// ownership of it. Experiments use it to start from prepared states (e.g.
-// mid-epoch cluster configurations); cfg.InitialSize is ignored.
+// ownership of it (side-array trackers already attached to it are
+// preserved, and the matcher binds to it). Experiments and extension
+// constructors use it to start from prepared states; cfg.InitialSize is
+// ignored.
 func NewFromPopulation(cfg Config, pop *population.Population) (*Engine, error) {
-	e, err := New(cfg)
-	if err != nil {
-		return nil, err
-	}
 	if pop == nil {
 		return nil, errors.New("sim: nil population")
 	}
-	e.pop = pop
-	return e, nil
+	return buildEngine(cfg, pop)
 }
 
 // New validates cfg and builds an engine with a fresh population of
 // InitialSize (default N) zero-state agents.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Protocol == nil {
-		return nil, errors.New("sim: Config.Protocol is required")
+	return buildEngine(cfg, nil)
+}
+
+// buildEngine validates cfg and assembles the engine over pop (freshly built
+// when nil). Randomness streams are split from the root in a fixed order —
+// protocol key, scheduler, adversary, binder — so adding components never
+// perturbs earlier streams.
+func buildEngine(cfg Config, pop *population.Population) (*Engine, error) {
+	if (cfg.Protocol == nil) == (cfg.Extended == nil) {
+		return nil, errors.New("sim: exactly one of Config.Protocol and Config.Extended is required")
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -172,22 +255,23 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.K < 0 {
 		return nil, fmt.Errorf("sim: negative adversary budget %d", cfg.K)
 	}
-	if cfg.Scheduler == nil {
-		u, err := match.NewUniform(cfg.Params.Gamma)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+	if cfg.Scheduler != nil && cfg.Matcher != nil {
+		return nil, errors.New("sim: at most one of Config.Scheduler and Config.Matcher may be set")
+	}
+	matcher := cfg.Matcher
+	if matcher == nil {
+		sched := cfg.Scheduler
+		if sched == nil {
+			u, err := match.NewUniform(cfg.Params.Gamma)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			sched = u
 		}
-		cfg.Scheduler = u
+		matcher = match.FromScheduler(sched)
 	}
 	if cfg.Adversary == nil {
 		cfg.Adversary = adversary.None{}
-	}
-	size := cfg.InitialSize
-	if size == 0 {
-		size = cfg.Params.N
-	}
-	if size < 0 {
-		return nil, fmt.Errorf("sim: negative initial size %d", size)
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("sim: negative worker count %d", cfg.Workers)
@@ -196,17 +280,46 @@ func New(cfg Config) (*Engine, error) {
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
+	if pop == nil {
+		size := cfg.InitialSize
+		if size == 0 {
+			size = cfg.Params.N
+		}
+		if size < 0 {
+			return nil, fmt.Errorf("sim: negative initial size %d", size)
+		}
+		pop = population.New(size)
+	}
+
+	e := &Engine{
+		cfg:     cfg,
+		pop:     pop,
+		matcher: matcher,
+		adv:     cfg.Adversary,
+		workers: workers,
+		proto:   cfg.Protocol,
+		xproto:  cfg.Extended,
+	}
+	if e.xproto != nil {
+		e.epochLen = e.xproto.EpochLen()
+		e.starter, _ = e.xproto.(RoundStarter)
+	} else {
+		e.epochLen = e.proto.EpochLen()
+		e.starter, _ = e.proto.(RoundStarter)
+	}
+	if e.epochLen < 1 {
+		return nil, fmt.Errorf("sim: program epoch length %d < 1", e.epochLen)
+	}
+
 	root := prng.New(cfg.Seed)
-	return &Engine{
-		cfg:      cfg,
-		pop:      population.New(size),
-		sched:    cfg.Scheduler,
-		adv:      cfg.Adversary,
-		workers:  workers,
-		protoKey: root.Split().Uint64(),
-		schedSrc: root.Split(),
-		advSrc:   root.Split(),
-	}, nil
+	e.protoKey = root.Split().Uint64()
+	e.schedSrc = root.Split()
+	e.advSrc = root.Split()
+	bindSrc := root.Split()
+	if b, ok := matcher.(match.Binder); ok {
+		b.Bind(e.pop, bindSrc)
+	}
+	return e, nil
 }
 
 // MustNew is New for known-valid configurations; it panics on error.
@@ -227,17 +340,24 @@ func (e *Engine) Size() int { return e.pop.Len() }
 // GlobalRound reports the number of completed rounds.
 func (e *Engine) GlobalRound() uint64 { return e.round }
 
+// EpochLen reports the program's epoch length in rounds, cached at
+// construction.
+func (e *Engine) EpochLen() int { return e.epochLen }
+
 // EpochIndex reports the current epoch number.
 func (e *Engine) EpochIndex() int {
-	return int(e.round / uint64(e.cfg.Protocol.EpochLen()))
+	return int(e.round / uint64(e.epochLen))
 }
 
 // Params returns the engine's parameterization.
 func (e *Engine) Params() params.Params { return e.cfg.Params }
 
+// Matcher exposes the engine's communication model.
+func (e *Engine) Matcher() match.Matcher { return e.matcher }
+
 // Census takes a population census using the protocol's epoch geometry.
 func (e *Engine) Census() population.Census {
-	return e.pop.TakeCensus(e.cfg.Protocol.EpochLen()-1, e.cfg.Params.HalfLogN)
+	return e.pop.TakeCensus(e.epochLen-1, e.cfg.Params.HalfLogN)
 }
 
 // adversaryTurn gives the adversary its budgeted turn and applies the staged
@@ -246,7 +366,7 @@ func (e *Engine) adversaryTurn(rep *RoundReport) {
 	if e.cfg.K <= 0 {
 		return
 	}
-	budget := adversary.NewBudget(e.cfg.K, e.pop.Len(), e.cfg.Protocol.EpochLen())
+	budget := adversary.NewBudget(e.cfg.K, e.pop.Len(), e.epochLen)
 	e.adv.Act(engineView{e}, budget, e.advSrc)
 	rep.AdvDeleted += e.pop.DeleteDescending(budget.Deletions())
 	for _, s := range budget.Inserts() {
@@ -257,6 +377,11 @@ func (e *Engine) adversaryTurn(rep *RoundReport) {
 
 // RunRound executes one full round and reports it.
 func (e *Engine) RunRound() RoundReport {
+	// 0. Program hook (e.g. rogue infiltration at epoch boundaries).
+	if e.starter != nil {
+		e.starter.StartRound(e.pop, e.round)
+	}
+
 	rep := RoundReport{Round: e.round, SizeBefore: e.pop.Len()}
 
 	// 1. Adversary turn (default timing: before the matching is sampled).
@@ -267,7 +392,7 @@ func (e *Engine) RunRound() RoundReport {
 	n := e.pop.Len()
 
 	// 2. Matching.
-	e.sched.Sample(n, e.schedSrc, &e.pairing)
+	e.matcher.SampleMatch(e.pop, e.schedSrc, &e.pairing)
 
 	// 3–5. Compose from pre-round state, deliver, and step — sharded
 	// across the worker pool when the population is large enough to pay
@@ -275,7 +400,16 @@ func (e *Engine) RunRound() RoundReport {
 	e.ensureScratch(n)
 	e.composeAndStep(n)
 
-	// 6. Apply fates.
+	// 6. Apply fates. Neighbor-kills override the victim's own action (the
+	// victim is removed before it can divide).
+	if e.xproto != nil {
+		for j, killed := range e.kill {
+			if killed {
+				e.actions[j] = population.ActDie
+				rep.Kills++
+			}
+		}
+	}
 	rep.Births, rep.Deaths = e.pop.Apply(e.actions)
 
 	// Ablation timing: adversary acts after the protocol step.
@@ -288,33 +422,37 @@ func (e *Engine) RunRound() RoundReport {
 	return rep
 }
 
-// ensureScratch sizes the msgs/actions buffers for n agents, growing with
-// 1.5× slack so a steadily growing population does not reallocate on every
-// round.
+// ensureScratch sizes the msgs/actions (and, for extended programs, kill)
+// buffers for n agents, growing with 1.5× slack so a steadily growing
+// population does not reallocate on every round.
 func (e *Engine) ensureScratch(n int) {
 	if cap(e.msgs) < n {
 		c := n + n/2
 		e.msgs = make([]uint8, c)
 		e.actions = make([]population.Action, c)
+		if e.xproto != nil {
+			e.kill = make([]bool, c)
+		}
 	}
 	e.msgs = e.msgs[:n]
 	e.actions = e.actions[:n]
+	if e.xproto != nil {
+		e.kill = e.kill[:n]
+	}
 }
 
-// minShardAgents bounds how finely ShardComposeStep shards: below ~1k
+// minShardAgents bounds how finely shardComposeStep shards: below ~1k
 // agents per worker the goroutine spawn and barrier overhead exceeds the
 // step work, so the effective worker count is capped at n/minShardAgents.
 // Output is worker-count-invariant, so the cap is purely a scheduling
 // heuristic.
 const minShardAgents = 1024
 
-// ShardComposeStep partitions [0, n) into up to workers contiguous shards
+// shardComposeStep partitions [0, n) into up to workers contiguous shards
 // and runs compose over every shard, then — after a barrier, because steps
 // read messages composed by other shards — step over every shard. With one
 // effective worker both callbacks run inline on the caller's goroutine.
-// The rogue extension engine shares this machinery; any tuning here applies
-// to both engines.
-func ShardComposeStep(n, workers int, compose, step func(lo, hi int)) {
+func shardComposeStep(n, workers int, compose, step func(lo, hi int)) {
 	w := workers
 	if lim := n / minShardAgents; w > lim {
 		w = lim
@@ -347,7 +485,14 @@ func ShardComposeStep(n, workers int, compose, step func(lo, hi int)) {
 // counter-based stream (protoKey, round, slot), so the result is
 // bit-identical whether the shards run serially or concurrently.
 func (e *Engine) composeAndStep(n int) {
-	ShardComposeStep(n, e.workers, e.composeRange, func(lo, hi int) {
+	if e.xproto != nil {
+		shardComposeStep(n, e.workers, e.composeRangeExt, func(lo, hi int) {
+			var src prng.Source
+			e.stepRangeExt(lo, hi, &src)
+		})
+		return
+	}
+	shardComposeStep(n, e.workers, e.composeRange, func(lo, hi int) {
 		var src prng.Source
 		e.stepRange(lo, hi, &src)
 	})
@@ -356,7 +501,7 @@ func (e *Engine) composeAndStep(n int) {
 // composeRange composes the outgoing messages of agents [lo, hi).
 func (e *Engine) composeRange(lo, hi int) {
 	for i := lo; i < hi; i++ {
-		e.msgs[i] = e.cfg.Protocol.Compose(e.pop.Ref(i))
+		e.msgs[i] = e.proto.Compose(e.pop.Ref(i))
 	}
 }
 
@@ -368,9 +513,38 @@ func (e *Engine) stepRange(lo, hi int, src *prng.Source) {
 		var msg wire.Message
 		hasNbr := j != match.Unmatched
 		if hasNbr {
-			msg = e.cfg.Protocol.Decode(e.msgs[j])
+			msg = e.proto.Decode(e.msgs[j])
 		}
-		e.actions[i] = e.cfg.Protocol.Step(e.pop.Ref(i), msg, hasNbr, src)
+		e.actions[i] = e.proto.Step(e.pop.Ref(i), msg, hasNbr, src)
+	}
+}
+
+// composeRangeExt is composeRange for the extended seam; it also clears the
+// shard's slice of the kill mask (each slot has exactly one owner, so the
+// clear is race-free and worker-count-invariant).
+func (e *Engine) composeRangeExt(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.kill[i] = false
+		e.msgs[i] = e.xproto.ComposeAt(i, e.pop.Ref(i))
+	}
+}
+
+// stepRangeExt delivers and steps agents [lo, hi) through the extended
+// seam, reseeding src per agent and routing neighbor-kills into the mask.
+func (e *Engine) stepRangeExt(lo, hi int, src *prng.Source) {
+	for i := lo; i < hi; i++ {
+		src.SeedCounter(e.protoKey, e.round, uint64(i))
+		j := e.pairing.Nbr[i]
+		var msg wire.Message
+		hasNbr := j != match.Unmatched
+		if hasNbr {
+			msg = e.xproto.Decode(e.msgs[j])
+		}
+		act, killNbr := e.xproto.StepAt(i, int(j), e.pop.Ref(i), msg, hasNbr, src)
+		e.actions[i] = act
+		if killNbr && hasNbr {
+			e.kill[j] = true
+		}
 	}
 }
 
@@ -386,7 +560,7 @@ func (e *Engine) RunRounds(n int) RoundReport {
 // RunEpoch executes rounds until the next epoch boundary and aggregates
 // them. At a boundary it runs a full epoch.
 func (e *Engine) RunEpoch() EpochReport {
-	t := uint64(e.cfg.Protocol.EpochLen())
+	t := uint64(e.epochLen)
 	rep := EpochReport{
 		Epoch:     int(e.round / t),
 		StartSize: e.pop.Len(),
@@ -397,6 +571,7 @@ func (e *Engine) RunEpoch() EpochReport {
 		r := e.RunRound()
 		rep.Births += r.Births
 		rep.Deaths += r.Deaths
+		rep.Kills += r.Kills
 		rep.AdvInserted += r.AdvInserted
 		rep.AdvDeleted += r.AdvDeleted
 		if r.SizeAfter < rep.MinSize {
@@ -425,7 +600,7 @@ func (e *Engine) RunEpochs(n int) []EpochReport {
 // fresh agents carrying the correct round counter). Experiment machinery
 // for Lemmas 8 and 9; not part of the model.
 func (e *Engine) ForceResize(n int) {
-	round := uint32(e.round % uint64(e.cfg.Protocol.EpochLen()))
+	round := uint32(e.round % uint64(e.epochLen))
 	e.pop.ForceResize(n, round)
 }
 
@@ -439,7 +614,7 @@ func (v engineView) State(i int) agent.State   { return v.e.pop.State(i) }
 func (v engineView) Census() population.Census { return v.e.Census() }
 func (v engineView) GlobalRound() uint64       { return v.e.round }
 func (v engineView) EpochRound() int {
-	return int(v.e.round % uint64(v.e.cfg.Protocol.EpochLen()))
+	return int(v.e.round % uint64(v.e.epochLen))
 }
 func (v engineView) Params() params.Params { return v.e.cfg.Params }
 func (v engineView) Find(dst []int, limit int, pred func(agent.State) bool) []int {

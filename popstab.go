@@ -11,11 +11,14 @@
 //   - the synchronous γ-matching communication model;
 //   - a library of adversary strategies, budgeted per the model;
 //   - the §1.2 extensions (malicious programs, geometric communication,
-//     clock drift);
-//   - the reproduction experiment suite (E1–E17, A1–A6);
-//   - a deterministic parallel round engine: per-agent counter-based
-//     randomness makes simulation output bit-identical across any
-//     Config.Workers count, so multi-core runs are pure speedup.
+//     clock drift), composable with each other and with any adversary
+//     through Config.Topology and Config.Rogue;
+//   - the reproduction experiment suite (E1–E17, A1–A7);
+//   - one deterministic parallel round engine behind pluggable
+//     communication (Matcher) and program (Stepper) seams: per-agent
+//     counter-based randomness makes simulation output bit-identical
+//     across any Config.Workers count, so multi-core runs are pure
+//     speedup — for every topology and program.
 //
 // Quick start:
 //
@@ -33,6 +36,7 @@ package popstab
 
 import (
 	"fmt"
+	"math"
 
 	"popstab/internal/adversary"
 	"popstab/internal/baseline"
@@ -40,6 +44,7 @@ import (
 	"popstab/internal/params"
 	"popstab/internal/population"
 	"popstab/internal/protocol"
+	"popstab/internal/rogue"
 	"popstab/internal/sim"
 	"popstab/internal/wire"
 )
@@ -63,6 +68,9 @@ type (
 	// Counters accumulates protocol event counts (leaders, recruits,
 	// splits, deaths).
 	Counters = protocol.Counters
+	// RogueStats accumulates the malicious-program extension's event counts
+	// (kills, rogue splits, failed detections).
+	RogueStats = rogue.Stats
 )
 
 // ProtocolKind selects which per-agent program a Sim runs.
@@ -113,6 +121,61 @@ func ProtocolKindFromString(s string) (ProtocolKind, error) {
 	}
 }
 
+// Topology selects the communication topology the matching is drawn from.
+// It composes freely with Protocol, Adversary, and Rogue: the unified round
+// engine treats topology, program, and intervention as orthogonal axes.
+type Topology int
+
+// Supported topologies.
+const (
+	// Mixed is the model's well-mixed uniform γ-matching (the default).
+	Mixed Topology = iota
+	// Torus places agents on the unit 2-torus and matches nearest
+	// neighbors; daughters appear next to their parent (§1.2 "Alternate
+	// communication models", experiments A5/A7).
+	Torus
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Mixed:
+		return "mixed"
+	case Torus:
+		return "torus"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// TopologyFromString parses a topology name.
+func TopologyFromString(s string) (Topology, error) {
+	switch s {
+	case "mixed", "":
+		return Mixed, nil
+	case "torus":
+		return Torus, nil
+	default:
+		return 0, fmt.Errorf("popstab: unknown topology %q", s)
+	}
+}
+
+// RogueConfig enables the §1.2 malicious-program extension: rogue agents
+// that ignore the protocol and replicate at a bounded rate, with honest
+// agents detecting and removing foreign programs on contact.
+type RogueConfig struct {
+	// ReplicateEvery is the rogue replication period R ≥ 1.
+	ReplicateEvery int
+	// DetectProb is the per-contact detection probability (the paper
+	// assumes 1).
+	DetectProb float64
+	// InitialRogues seeds the system with this many rogues.
+	InitialRogues int
+	// RoguesPerEpoch inserts this many additional rogues at every epoch
+	// boundary.
+	RoguesPerEpoch int
+}
+
 // Config assembles a simulation.
 type Config struct {
 	// N is the population target. Must be a power of four, ≥ 4096.
@@ -139,8 +202,17 @@ type Config struct {
 	// the budget normalization the paper's lemmas use (K·T = Θ(N^{1/4})).
 	PerEpochBudget int
 	// Scheduler overrides the communication scheduler (nil = uniform
-	// γ-matching).
+	// γ-matching). Incompatible with Topology: Torus.
 	Scheduler Scheduler
+	// Topology selects the communication topology (default Mixed). Torus
+	// composes with any Protocol, Adversary, and Rogue configuration.
+	Topology Topology
+	// DaughterSpread is the torus daughter-placement spread as a fraction
+	// of the mean inter-agent spacing 1/√N (0 = 1.0; Torus only).
+	DaughterSpread float64
+	// Rogue, when non-nil, runs the malicious-program extension on top of
+	// the selected protocol and topology.
+	Rogue *RogueConfig
 	// InitialSize overrides the starting population (0 = N).
 	InitialSize int
 	// Seed derives all randomness; runs are fully deterministic in it.
@@ -157,6 +229,7 @@ type Config struct {
 type Sim struct {
 	eng      *sim.Engine
 	proto    *protocol.Protocol // nil for baselines
+	overlay  *rogue.Overlay     // nil without the malicious-program extension
 	params   Params
 	kind     ProtocolKind
 	epochLen int
@@ -226,16 +299,71 @@ func New(cfg Config) (*Sim, error) {
 		adv = adversary.NewPaced(adversary.PerEpoch(s.epochLen, cfg.PerEpochBudget, k), adv)
 	}
 
-	eng, err := sim.New(sim.Config{
+	simCfg := sim.Config{
 		Params:      p,
-		Protocol:    stepper,
 		Scheduler:   cfg.Scheduler,
 		Adversary:   adv,
 		K:           k,
 		Seed:        cfg.Seed,
 		InitialSize: cfg.InitialSize,
 		Workers:     cfg.Workers,
-	})
+	}
+
+	// Topology axis: Torus swaps the uniform scheduler for the spatial
+	// nearest-neighbor matcher (positions ride a population side-array).
+	switch cfg.Topology {
+	case Mixed:
+		if cfg.DaughterSpread != 0 {
+			return nil, fmt.Errorf("popstab: DaughterSpread requires Topology: Torus")
+		}
+	case Torus:
+		if cfg.Scheduler != nil {
+			return nil, fmt.Errorf("popstab: Scheduler is incompatible with Topology: Torus")
+		}
+		spread := cfg.DaughterSpread
+		if spread == 0 {
+			spread = 1
+		}
+		if spread < 0 {
+			return nil, fmt.Errorf("popstab: negative DaughterSpread %v", spread)
+		}
+		torus, err := match.NewTorus(spread / math.Sqrt(float64(p.N)))
+		if err != nil {
+			return nil, fmt.Errorf("popstab: %w", err)
+		}
+		simCfg.Matcher = torus
+		simCfg.Scheduler = nil
+	default:
+		return nil, fmt.Errorf("popstab: unknown topology %d", int(cfg.Topology))
+	}
+
+	// Program axis: the malicious-program extension wraps any protocol (and
+	// composes with any topology and adversary) — all wiring delegated to
+	// rogue.NewEngine so the overlay bootstrap lives in one place.
+	if rc := cfg.Rogue; rc != nil {
+		re, err := rogue.NewEngine(rogue.Config{
+			Params:         p,
+			ReplicateEvery: rc.ReplicateEvery,
+			DetectProb:     rc.DetectProb,
+			InitialRogues:  rc.InitialRogues,
+			RoguesPerEpoch: rc.RoguesPerEpoch,
+			Scheduler:      simCfg.Scheduler,
+			Matcher:        simCfg.Matcher,
+			Adversary:      adv,
+			K:              k,
+			Seed:           cfg.Seed,
+			InitialSize:    cfg.InitialSize,
+			Workers:        cfg.Workers,
+		}, stepper)
+		if err != nil {
+			return nil, fmt.Errorf("popstab: %w", err)
+		}
+		s.eng = re.Engine
+		s.overlay = re.Overlay()
+		return s, nil
+	}
+	simCfg.Protocol = stepper
+	eng, err := sim.New(simCfg)
 	if err != nil {
 		return nil, fmt.Errorf("popstab: %w", err)
 	}
@@ -286,10 +414,31 @@ func (s *Sim) Counters() *Counters {
 // machinery for drift/recovery studies; not part of the model).
 func (s *Sim) Displace(n int) { s.eng.ForceResize(n) }
 
+// RogueCounts reports the honest and rogue populations (0, Size() without
+// the extension).
+func (s *Sim) RogueCounts() (honest, rogues int) {
+	if s.overlay == nil {
+		return s.Size(), 0
+	}
+	return s.overlay.Counts()
+}
+
+// RogueStats returns the malicious-program extension's counters (zero
+// without the extension).
+func (s *Sim) RogueStats() RogueStats {
+	if s.overlay == nil {
+		return RogueStats{}
+	}
+	return s.overlay.Stats()
+}
+
 // InInterval reports whether the population currently lies within
-// [(1−α)N, (1+α)N].
+// [(1−α)N, (1+α)N]. The bounds are the integers inside the closed real
+// interval: the lower bound rounds up and the upper bound rounds down, so a
+// population of exactly (1−α)N or (1+α)N is admissible and nothing closer
+// to the boundary is misclassified.
 func (s *Sim) InInterval() bool {
-	lo := int(float64(s.params.N) * (1 - s.params.Alpha))
-	hi := int(float64(s.params.N) * (1 + s.params.Alpha))
+	lo := int(math.Ceil(float64(s.params.N) * (1 - s.params.Alpha)))
+	hi := int(math.Floor(float64(s.params.N) * (1 + s.params.Alpha)))
 	return s.Size() >= lo && s.Size() <= hi
 }

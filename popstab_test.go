@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"popstab"
+	"popstab/internal/match"
 )
 
 func TestNewDefaults(t *testing.T) {
@@ -233,7 +234,7 @@ func TestRecordEpochs(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := popstab.ExperimentIDs()
-	if len(ids) != 23 {
+	if len(ids) != 24 {
 		t.Fatalf("suite has %d experiments: %v", len(ids), ids)
 	}
 	title, claim, err := popstab.ExperimentInfo("E13")
@@ -280,6 +281,16 @@ func TestParallelWorkersEquivalence(t *testing.T) {
 		cfg: popstab.Config{N: 4096, Tinner: 24, Seed: 32,
 			Adversary: popstab.NewGreedy(), K: 4},
 	})
+	arms = append(arms, arm{
+		name: "torus-adversarial",
+		cfg: popstab.Config{N: 4096, Tinner: 24, Seed: 33, Topology: popstab.Torus,
+			Adversary: popstab.NewGreedy(), K: 2},
+	})
+	arms = append(arms, arm{
+		name: "rogue-on-torus",
+		cfg: popstab.Config{N: 4096, Tinner: 24, Seed: 34, Topology: popstab.Torus,
+			Rogue: &popstab.RogueConfig{ReplicateEvery: 8, DetectProb: 1, InitialRogues: 32}},
+	})
 
 	const rounds = 300
 	run := func(cfg popstab.Config, workers int) ([]popstab.RoundReport, popstab.Census) {
@@ -311,5 +322,113 @@ func TestParallelWorkersEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestInIntervalBoundary pins the interval arithmetic of InInterval: the
+// admissible range is the closed real interval [(1−α)N, (1+α)N], so the
+// integer lower bound rounds UP (a population one below ⌈(1−α)N⌉ violates)
+// and the upper bound rounds down. With α = 0.3, (1−α)N = 2867.2 — so 2867
+// is out and 2868 is in, which truncation would misclassify.
+func TestInIntervalBoundary(t *testing.T) {
+	cases := []struct {
+		size int
+		want bool
+	}{
+		{2867, false}, // below ⌈2867.2⌉ = 2868
+		{2868, true},  // exactly the smallest admissible integer
+		{5324, true},  // ⌊5324.8⌋ = 5324, largest admissible integer
+		{5325, false}, // above (1+α)N
+	}
+	for _, tc := range cases {
+		s, err := popstab.New(popstab.Config{
+			N: 4096, Tinner: 24, Alpha: 0.3, Seed: 1, InitialSize: tc.size,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.InInterval(); got != tc.want {
+			t.Errorf("size %d: InInterval = %v, want %v", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestTopologyConfig(t *testing.T) {
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Topology: popstab.Torus,
+		Scheduler: match.Full{}}); err == nil {
+		t.Error("accepted Scheduler together with Torus topology")
+	}
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, DaughterSpread: 1}); err == nil {
+		t.Error("accepted DaughterSpread on the mixed topology")
+	}
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Topology: popstab.Topology(9)}); err == nil {
+		t.Error("accepted unknown topology")
+	}
+	for in, want := range map[string]popstab.Topology{"": popstab.Mixed, "mixed": popstab.Mixed, "torus": popstab.Torus} {
+		got, err := popstab.TopologyFromString(in)
+		if err != nil || got != want {
+			t.Errorf("TopologyFromString(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := popstab.TopologyFromString("ring"); err == nil {
+		t.Error("parsed unknown topology name")
+	}
+	if popstab.Torus.String() != "torus" || popstab.Mixed.String() != "mixed" {
+		t.Error("topology names changed")
+	}
+}
+
+// TestRogueExtensionThroughConfig drives the malicious-program extension
+// through the public Config surface (mixed topology) and asserts the rogue
+// cohort is contained while the honest population persists.
+func TestRogueExtensionThroughConfig(t *testing.T) {
+	s, err := popstab.New(popstab.Config{
+		N: 4096, Tinner: 24, Seed: 5,
+		Rogue: &popstab.RogueConfig{ReplicateEvery: 16, DetectProb: 1, InitialRogues: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, rogues := s.RogueCounts()
+	if honest != 4096 || rogues != 64 {
+		t.Fatalf("initial composition %d/%d", honest, rogues)
+	}
+	s.RunEpochs(3)
+	honest, rogues = s.RogueCounts()
+	if rogues > 8 {
+		t.Errorf("rogues not contained: %d remain", rogues)
+	}
+	if honest < 2048 || honest > 8192 {
+		t.Errorf("honest population destabilized: %d", honest)
+	}
+	if s.RogueStats().RogueKills == 0 {
+		t.Error("no kills recorded")
+	}
+	// Invalid rogue parameterizations must be rejected.
+	bad := []popstab.RogueConfig{
+		{ReplicateEvery: 0, DetectProb: 1},
+		{ReplicateEvery: 4, DetectProb: 1.5},
+		{ReplicateEvery: 4, DetectProb: 1, InitialRogues: -1},
+	}
+	for i, rc := range bad {
+		rc := rc
+		if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Rogue: &rc}); err == nil {
+			t.Errorf("case %d: accepted %+v", i, rc)
+		}
+	}
+}
+
+// TestRogueWithoutExtensionAccessors pins the degenerate accessors.
+func TestRogueWithoutExtensionAccessors(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, rogues := s.RogueCounts()
+	if honest != s.Size() || rogues != 0 {
+		t.Errorf("RogueCounts without extension = %d/%d", honest, rogues)
+	}
+	if s.RogueStats() != (popstab.RogueStats{}) {
+		t.Errorf("RogueStats without extension = %+v", s.RogueStats())
 	}
 }
