@@ -8,11 +8,15 @@
 package popstab_test
 
 import (
+	"math"
 	"runtime"
 	"strings"
 	"testing"
 
 	"popstab"
+	"popstab/internal/match"
+	"popstab/internal/population"
+	"popstab/internal/prng"
 )
 
 // benchExperiment runs one suite experiment per iteration.
@@ -63,6 +67,8 @@ func BenchmarkA3AdversaryTiming(b *testing.B) { benchExperiment(b, "A3") }
 func BenchmarkA4Schedulers(b *testing.B)      { benchExperiment(b, "A4") }
 func BenchmarkA5Geometric(b *testing.B)       { benchExperiment(b, "A5") }
 func BenchmarkA6ClockDrift(b *testing.B)      { benchExperiment(b, "A6") }
+func BenchmarkA7GeoAdversary(b *testing.B)    { benchExperiment(b, "A7") }
+func BenchmarkA8Topology(b *testing.B)        { benchExperiment(b, "A8") }
 
 // Simulator throughput: rounds and agent-steps per second across N.
 // workers = 0 means runtime.NumCPU() (the engine default); the *Workers1
@@ -97,6 +103,37 @@ func BenchmarkRoundN1048576(b *testing.B) { benchRounds(b, 1048576, 0) }
 func BenchmarkRoundN65536Workers1(b *testing.B)   { benchRounds(b, 65536, 1) }
 func BenchmarkRoundN262144Workers1(b *testing.B)  { benchRounds(b, 262144, 1) }
 func BenchmarkRoundN1048576Workers1(b *testing.B) { benchRounds(b, 1048576, 1) }
+
+// benchTorusMatch measures the sharded spatial matching phase alone —
+// grid bucketing + candidate search + greedy walk over a static uniform
+// population — reporting matched-over agents per second. Compare default
+// workers against the Workers1 variant for the pipeline's parallel
+// speedup.
+func benchTorusMatch(b *testing.B, n, workers int) {
+	b.Helper()
+	tor, err := match.NewTorus(1 / math.Sqrt(float64(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := population.New(n)
+	tor.Bind(pop, prng.New(1))
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	tor.SetWorkers(workers)
+	src := prng.New(2)
+	var p match.Pairing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tor.SampleMatch(pop, src, &p)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/sec, "agentsteps/s")
+	}
+}
+
+func BenchmarkTorusMatchN1048576(b *testing.B)         { benchTorusMatch(b, 1048576, 0) }
+func BenchmarkTorusMatchN1048576Workers1(b *testing.B) { benchTorusMatch(b, 1048576, 1) }
 
 // BenchmarkEpochN4096 measures one full protocol epoch.
 func BenchmarkEpochN4096(b *testing.B) {

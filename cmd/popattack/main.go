@@ -1,13 +1,15 @@
 // Command popattack explores the adversary strategy space: it runs every
 // strategy across a grid of per-epoch budgets and prints the worst
 // population displacement each achieves — a quick map of where the
-// protocol's tolerance ends. With -topology torus the same grid runs under
-// geometric (nearest-neighbor) communication, the A7 scenario.
+// protocol's tolerance ends. With a spatial -topology (torus, grid, ring,
+// smallworld) the same grid runs under geometric (nearest-available)
+// communication — the A7/A8 scenarios.
 //
 // Examples:
 //
 //	popattack -n 4096 -epochs 20 -budgets 0,8,32,128,512
 //	popattack -n 4096 -topology torus -epochs 10
+//	popattack -n 4096 -topology smallworld -epochs 10
 package main
 
 import (
@@ -34,7 +36,7 @@ func run(args []string) error {
 		tinner     = fs.Int("tinner", 24, "recruitment subphase length (0 = paper default)")
 		epochs     = fs.Int("epochs", 20, "epochs per cell")
 		seed       = fs.Uint64("seed", 1, "PRNG seed")
-		topo       = fs.String("topology", "mixed", "communication topology: mixed|torus")
+		topo       = fs.String("topology", "mixed", "communication topology: mixed|torus|grid|ring|smallworld")
 		budgetList = fs.String("budgets", "", "comma-separated per-epoch budgets (empty = 0,1x,4x,16x of N^(1/4))")
 	)
 	if err := fs.Parse(args); err != nil {

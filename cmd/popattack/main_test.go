@@ -47,7 +47,17 @@ func TestRunRejectsBadBudgets(t *testing.T) {
 	if err := run([]string{"-budgets", "x"}); err == nil {
 		t.Error("accepted non-numeric budget")
 	}
-	if err := run([]string{"-topology", "ring"}); err == nil {
+	if err := run([]string{"-topology", "moebius"}); err == nil {
 		t.Error("accepted unknown topology")
+	}
+}
+
+// TestRunCellGallery smoke-tests one adversarial cell on each of the new
+// gallery topologies.
+func TestRunCellGallery(t *testing.T) {
+	for _, topo := range []popstab.Topology{popstab.Grid, popstab.Ring, popstab.SmallWorld} {
+		if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, topo); err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
 	}
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"popstab"
+	"popstab/internal/match"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// jsonBenchmark is one throughput workload's outcome in the -json document.
+// Fields are stable: add, don't rename.
+type jsonBenchmark struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Workers int    `json:"workers"`
+	// Rounds is the number of iterations (full rounds, or matching phases
+	// for the match-only workloads) executed.
+	Rounds    int   `json:"rounds"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// AgentStepsPerSec is the throughput metric the -diff perf gate
+	// compares: processed agents (stepped, or matched-over for match-only
+	// workloads) per wall-clock second.
+	AgentStepsPerSec float64 `json:"agentsteps_per_s"`
+}
+
+// benchBudget is the minimum wall-clock spent per workload; every workload
+// runs at least one iteration, then iterates until the budget is consumed
+// so agentsteps/s is averaged over enough work to be stable.
+const benchBudget = 1500 * time.Millisecond
+
+// runThroughputBenchmarks times the fixed simulator workloads whose
+// agentsteps/s the -diff perf gate tracks: a well-mixed full round, a torus
+// full round, and the sharded torus matching phase alone at N = 2²⁰ (the
+// parallel spatial pipeline). All workloads are seeded and deterministic in
+// content; only wall time varies across machines, which is why -diff only
+// warns (never fails) on throughput changes.
+func runThroughputBenchmarks(verbose bool) []jsonBenchmark {
+	var out []jsonBenchmark
+	add := func(b jsonBenchmark, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: benchmark %s skipped: %v\n", b.Name, err)
+			return
+		}
+		out = append(out, b)
+		if verbose {
+			fmt.Printf("bench %-24s n=%-8d workers=%-2d rounds=%-4d %8dms  %14.0f agentsteps/s\n",
+				b.Name, b.N, b.Workers, b.Rounds, b.ElapsedMS, b.AgentStepsPerSec)
+		}
+	}
+	add(benchRounds("RoundN65536", 65536, popstab.Mixed))
+	add(benchRounds("TorusRoundN65536", 65536, popstab.Torus))
+	add(benchTorusMatch("TorusMatchN1048576", 1<<20))
+	return out
+}
+
+// benchRounds times full engine rounds at the engine's default worker
+// count.
+func benchRounds(name string, n int, topo popstab.Topology) (jsonBenchmark, error) {
+	b := jsonBenchmark{Name: name, N: n, Workers: runtime.NumCPU()}
+	sim, err := popstab.New(popstab.Config{N: n, Tinner: 2 * log2of(n), Seed: 1, Topology: topo})
+	if err != nil {
+		return b, err
+	}
+	steps := 0
+	start := time.Now()
+	for rounds := 0; ; rounds++ {
+		if elapsed := time.Since(start); rounds > 0 && elapsed >= benchBudget {
+			b.Rounds = rounds
+			b.ElapsedMS = elapsed.Milliseconds()
+			b.AgentStepsPerSec = float64(steps) / elapsed.Seconds()
+			return b, nil
+		}
+		sim.RunRound()
+		steps += sim.Size()
+	}
+}
+
+// benchTorusMatch times the sharded spatial matching phase alone — the
+// tentpole hot path — over a static population of n uniformly placed
+// agents.
+func benchTorusMatch(name string, n int) (jsonBenchmark, error) {
+	b := jsonBenchmark{Name: name, N: n, Workers: runtime.NumCPU()}
+	tor, err := match.NewTorus(1 / math.Sqrt(float64(n)))
+	if err != nil {
+		return b, err
+	}
+	pop := population.New(n)
+	tor.Bind(pop, prng.New(1))
+	tor.SetWorkers(runtime.NumCPU())
+	src := prng.New(2)
+	var p match.Pairing
+	start := time.Now()
+	for rounds := 0; ; rounds++ {
+		if elapsed := time.Since(start); rounds > 0 && elapsed >= benchBudget {
+			b.Rounds = rounds
+			b.ElapsedMS = elapsed.Milliseconds()
+			b.AgentStepsPerSec = float64(rounds) * float64(n) / elapsed.Seconds()
+			return b, nil
+		}
+		tor.SampleMatch(pop, src, &p)
+	}
+}
+
+// log2of is log₂ n for a power of two.
+func log2of(n int) int {
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	return lg
+}

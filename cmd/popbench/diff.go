@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// perfWarnFraction is the relative agentsteps/s drop beyond which -diff
+// emits a perf warning (warn-only: wall-clock differs across machines, so
+// throughput can never be a hard gate the way verdicts are).
+const perfWarnFraction = 0.20
+
+// loadReport parses one -json document from disk.
+func loadReport(path string) (*jsonReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: not a popbench -json document: %w", path, err)
+	}
+	if rep.SchemaVersion < 1 || len(rep.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: not a popbench -json document (schema %d, %d experiments)",
+			path, rep.SchemaVersion, len(rep.Experiments))
+	}
+	return &rep, nil
+}
+
+// runDiff compares two -json documents and writes a human-readable summary
+// to w. It returns an error — failing the build — when an experiment that
+// reproduced in the old document no longer reproduces in the new one (or
+// disappeared from it); agentsteps/s drops beyond perfWarnFraction are
+// reported as warnings only.
+func runDiff(w io.Writer, oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if oldRep.Scale != newRep.Scale || oldRep.Seed != newRep.Seed {
+		fmt.Fprintf(w, "note: comparing scale=%s seed=%d against scale=%s seed=%d\n",
+			oldRep.Scale, oldRep.Seed, newRep.Scale, newRep.Seed)
+	}
+
+	newByID := map[string]jsonExperiment{}
+	for _, e := range newRep.Experiments {
+		newByID[e.ID] = e
+	}
+	oldByID := map[string]jsonExperiment{}
+	for _, e := range oldRep.Experiments {
+		oldByID[e.ID] = e
+	}
+
+	var regressions, fixed, added []string
+	for _, oldE := range oldRep.Experiments {
+		newE, ok := newByID[oldE.ID]
+		if !ok {
+			if oldE.Reproduced {
+				regressions = append(regressions,
+					fmt.Sprintf("%s (%s): reproduced before, missing from the new run", oldE.ID, oldE.Title))
+			}
+			continue
+		}
+		switch {
+		case oldE.Reproduced && !newE.Reproduced:
+			regressions = append(regressions,
+				fmt.Sprintf("%s (%s): REPRODUCED -> %s", newE.ID, newE.Title, newE.Verdict))
+		case !oldE.Reproduced && newE.Reproduced:
+			fixed = append(fixed, newE.ID)
+		}
+	}
+	for _, newE := range newRep.Experiments {
+		if _, ok := oldByID[newE.ID]; !ok {
+			status := "DEVIATION"
+			if newE.Reproduced {
+				status = "reproduced"
+			}
+			added = append(added, fmt.Sprintf("%s (%s)", newE.ID, status))
+		}
+	}
+
+	fmt.Fprintf(w, "verdicts: %d compared, %d regressed, %d fixed, %d new\n",
+		len(oldRep.Experiments), len(regressions), len(fixed), len(added))
+	for _, id := range fixed {
+		fmt.Fprintf(w, "  fixed: %s now reproduces\n", id)
+	}
+	for _, a := range added {
+		fmt.Fprintf(w, "  new:   %s\n", a)
+	}
+
+	warnings := diffBenchmarks(w, oldRep.Benchmarks, newRep.Benchmarks)
+	for _, warn := range warnings {
+		fmt.Fprintf(w, "WARNING: %s\n", warn)
+	}
+
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(w, "REGRESSION: %s\n", r)
+		}
+		return fmt.Errorf("%d experiment verdict regression(s)", len(regressions))
+	}
+	fmt.Fprintln(w, "no verdict regressions")
+	return nil
+}
+
+// diffBenchmarks compares agentsteps/s by benchmark name and returns the
+// warning lines for drops beyond perfWarnFraction.
+func diffBenchmarks(w io.Writer, oldB, newB []jsonBenchmark) []string {
+	if len(oldB) == 0 {
+		return nil
+	}
+	if len(newB) == 0 {
+		// The baseline tracks throughput but the new run carries none
+		// (e.g. the -bench flag was dropped from CI): say so, or the perf
+		// gate dies silently.
+		return []string{"baseline has benchmarks but the new run has none (was -bench dropped?)"}
+	}
+	newByName := map[string]jsonBenchmark{}
+	for _, b := range newB {
+		newByName[b.Name] = b
+	}
+	var warnings []string
+	for _, ob := range oldB {
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			warnings = append(warnings,
+				fmt.Sprintf("benchmark %s missing from the new run", ob.Name))
+			continue
+		}
+		if ob.AgentStepsPerSec <= 0 {
+			continue
+		}
+		ratio := nb.AgentStepsPerSec / ob.AgentStepsPerSec
+		fmt.Fprintf(w, "bench %-24s %14.0f -> %14.0f agentsteps/s (%+.1f%%)\n",
+			ob.Name, ob.AgentStepsPerSec, nb.AgentStepsPerSec, (ratio-1)*100)
+		if ratio < 1-perfWarnFraction {
+			warnings = append(warnings, fmt.Sprintf(
+				"benchmark %s agentsteps/s dropped %.1f%% (%.0f -> %.0f); investigate before merging",
+				ob.Name, (1-ratio)*100, ob.AgentStepsPerSec, nb.AgentStepsPerSec))
+		}
+	}
+	return warnings
+}

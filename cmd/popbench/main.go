@@ -1,4 +1,4 @@
-// Command popbench runs the reproduction experiment suite (E1–E17, A1–A7)
+// Command popbench runs the reproduction experiment suite (E1–E17, A1–A8)
 // and prints the regenerated tables — the rows recorded in EXPERIMENTS.md.
 //
 // Examples:
@@ -7,10 +7,16 @@
 //	popbench -scale quick
 //	popbench -scale full -run E1,E7,E12
 //	popbench -scale full -markdown > results.md
-//	popbench -scale quick -json > results.json
+//	popbench -scale quick -json -bench > results.json
+//	popbench -diff BENCH_baseline.json results.json
 //
 // The -json form emits one machine-readable document (schema below) so CI
-// can track the verdict and per-experiment wall time across commits.
+// can track the verdict and per-experiment wall time across commits; with
+// -bench it also times a fixed set of simulator throughput workloads
+// (agentsteps/s). The -diff form compares two such documents: it FAILS on
+// any experiment verdict regression (reproduced in the old document, not in
+// the new) and WARNS when a benchmark's agentsteps/s drops more than 20% —
+// the CI regression gate (BENCH_baseline.json is the committed baseline).
 package main
 
 import (
@@ -37,6 +43,8 @@ type jsonReport struct {
 	TotalMS       int64            `json:"total_ms"`
 	Failures      int              `json:"failures"`
 	Experiments   []jsonExperiment `json:"experiments"`
+	// Benchmarks is present when the run was invoked with -bench.
+	Benchmarks []jsonBenchmark `json:"benchmarks,omitempty"`
 }
 
 // jsonExperiment is one experiment's outcome and cost.
@@ -68,9 +76,18 @@ func run(args []string) error {
 		list      = fs.Bool("list", false, "list experiments and exit")
 		markdown  = fs.Bool("markdown", false, "emit results as markdown")
 		asJSON    = fs.Bool("json", false, "emit one machine-readable JSON document")
+		bench     = fs.Bool("bench", false, "also time the simulator throughput workloads (agentsteps/s)")
+		diff      = fs.Bool("diff", false, "compare two -json documents: popbench -diff old.json new.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two arguments: old.json new.json")
+		}
+		return runDiff(os.Stdout, fs.Arg(0), fs.Arg(1))
 	}
 
 	if *list {
@@ -149,6 +166,12 @@ func run(args []string) error {
 			status = "DEVIATION"
 		}
 		summary = append(summary, summaryRow{res.ID, res.Title, status, elapsed})
+	}
+	if *bench {
+		// Inline bench lines are plain text: suppress them in the two
+		// document modes (JSON carries them structurally; markdown would
+		// be corrupted by them).
+		report.Benchmarks = runThroughputBenchmarks(!*asJSON && !*markdown)
 	}
 	if *asJSON {
 		report.TotalMS = time.Since(suiteStart).Milliseconds()

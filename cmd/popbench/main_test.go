@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -71,5 +73,135 @@ func TestRunJSON(t *testing.T) {
 	e := rep.Experiments[0]
 	if e.ID != "E13" || !e.Reproduced || e.Verdict == "" || e.ElapsedMS < 0 {
 		t.Errorf("unexpected experiment record: %+v", e)
+	}
+}
+
+// writeReport marshals a jsonReport to a temp file for -diff tests.
+func writeReport(t *testing.T, rep jsonReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(f, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// baseReport builds a healthy two-experiment, one-benchmark document.
+func baseReport() jsonReport {
+	return jsonReport{
+		SchemaVersion: 1,
+		Scale:         "quick",
+		Seed:          7,
+		Experiments: []jsonExperiment{
+			{ID: "E1", Title: "main theorem", Verdict: "REPRODUCED: ok", Reproduced: true},
+			{ID: "A8", Title: "topology gallery", Verdict: "REPRODUCED: ok", Reproduced: true},
+		},
+		Benchmarks: []jsonBenchmark{
+			{Name: "TorusMatchN1048576", N: 1 << 20, Rounds: 5, AgentStepsPerSec: 1e7},
+		},
+	}
+}
+
+// TestDiffNoRegression: identical documents pass.
+func TestDiffNoRegression(t *testing.T) {
+	old := writeReport(t, baseReport())
+	neu := writeReport(t, baseReport())
+	if err := run([]string{"-diff", old, neu}); err != nil {
+		t.Fatalf("identical documents diffed dirty: %v", err)
+	}
+}
+
+// TestDiffVerdictRegressionFails is the CI gate's core contract: an
+// experiment that flips REPRODUCED -> DEVIATION fails the diff.
+func TestDiffVerdictRegressionFails(t *testing.T) {
+	old := writeReport(t, baseReport())
+	bad := baseReport()
+	bad.Experiments[1].Reproduced = false
+	bad.Experiments[1].Verdict = "DEVIATION: containment thresholds shifted"
+	bad.Failures = 1
+	neu := writeReport(t, bad)
+	err := run([]string{"-diff", old, neu})
+	if err == nil {
+		t.Fatal("verdict regression did not fail the diff")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestDiffMissingExperimentFails: a previously reproduced experiment that
+// vanishes from the new run is a regression, not a silent pass.
+func TestDiffMissingExperimentFails(t *testing.T) {
+	old := writeReport(t, baseReport())
+	short := baseReport()
+	short.Experiments = short.Experiments[:1]
+	neu := writeReport(t, short)
+	if err := run([]string{"-diff", old, neu}); err == nil {
+		t.Fatal("missing experiment did not fail the diff")
+	}
+}
+
+// TestDiffPerfDropWarnsOnly: a >20% agentsteps/s drop warns but does not
+// fail (wall-clock is machine-dependent), and new experiments are
+// reported, not failed.
+func TestDiffPerfDropWarnsOnly(t *testing.T) {
+	old := writeReport(t, baseReport())
+	slow := baseReport()
+	slow.Benchmarks[0].AgentStepsPerSec = 0.5e7 // -50%
+	slow.Experiments = append(slow.Experiments,
+		jsonExperiment{ID: "A9", Title: "future", Verdict: "REPRODUCED: ok", Reproduced: true})
+	neu := writeReport(t, slow)
+	if err := run([]string{"-diff", old, neu}); err != nil {
+		t.Fatalf("perf drop must warn, not fail: %v", err)
+	}
+	// A small drop stays silent; exercised via diffBenchmarks directly.
+	var sb strings.Builder
+	warns := diffBenchmarks(&sb,
+		[]jsonBenchmark{{Name: "x", AgentStepsPerSec: 100}},
+		[]jsonBenchmark{{Name: "x", AgentStepsPerSec: 90}})
+	if len(warns) != 0 {
+		t.Errorf("10%% drop warned: %v", warns)
+	}
+	warns = diffBenchmarks(&sb,
+		[]jsonBenchmark{{Name: "x", AgentStepsPerSec: 100}},
+		[]jsonBenchmark{{Name: "x", AgentStepsPerSec: 79}})
+	if len(warns) != 1 {
+		t.Errorf("21%% drop produced %d warnings", len(warns))
+	}
+}
+
+// TestDiffRejectsBadInput covers argument and document validation.
+func TestDiffRejectsBadInput(t *testing.T) {
+	good := writeReport(t, baseReport())
+	if err := run([]string{"-diff", good}); err == nil {
+		t.Error("accepted one argument")
+	}
+	if err := run([]string{"-diff", good, filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("accepted missing file")
+	}
+	junk := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(junk, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-diff", good, junk}); err == nil {
+		t.Error("accepted non-popbench document")
+	}
+}
+
+// TestDiffWarnsWhenAllBenchmarksGone: dropping -bench from the new run
+// must surface a warning, not silently retire the perf gate.
+func TestDiffWarnsWhenAllBenchmarksGone(t *testing.T) {
+	var sb strings.Builder
+	warns := diffBenchmarks(&sb,
+		[]jsonBenchmark{{Name: "x", AgentStepsPerSec: 100}}, nil)
+	if len(warns) != 1 {
+		t.Errorf("empty new benchmark set produced %d warnings, want 1", len(warns))
+	}
+	if warns := diffBenchmarks(&sb, nil, nil); len(warns) != 0 {
+		t.Errorf("no-benchmarks-anywhere warned: %v", warns)
 	}
 }

@@ -7,8 +7,9 @@
 //	popsim -n 16384 -adv greedy -budget 16 -epochs 40
 //	popsim -n 4096 -protocol attempt2 -epochs 10 -csv trace.csv
 //	popsim -n 4096 -topology torus -adv greedy -budget 16 -epochs 10
+//	popsim -n 4096 -topology smallworld -rewire 0.3 -epochs 10
 //	popsim -n 4096 -rogues 64 -rogue-every 12 -epochs 5
-//	popsim -n 4096 -topology torus -rogues 64 -rogue-every 12 -epochs 5
+//	popsim -n 4096 -topology ring -rogues 64 -rogue-every 12 -epochs 5
 package main
 
 import (
@@ -41,8 +42,9 @@ func run(args []string) error {
 		budget   = fs.Int("budget", 0, "adversary alterations per epoch (0 = N^(1/4))")
 		k        = fs.Int("k", 1, "adversary per-round cap K")
 		bits     = fs.Int("bits", 3, "message codec width: 3 or 4")
-		topo     = fs.String("topology", "mixed", "communication topology: mixed|torus")
-		spread   = fs.Float64("spread", 0, "torus daughter spread as a fraction of 1/sqrt(N) (0 = 1.0)")
+		topo     = fs.String("topology", "mixed", "communication topology: mixed|torus|grid|ring|smallworld")
+		spread   = fs.Float64("spread", 0, "daughter spread as a fraction of the mean inter-agent spacing (0 = 1.0; spatial topologies)")
+		rewire   = fs.Float64("rewire", 0, "Watts-Strogatz rewiring probability (0 = 0.1; smallworld only)")
 		rogues   = fs.Int("rogues", 0, "initial rogue agents (enables the malicious-program extension)")
 		rogueEv  = fs.Int("rogue-every", 12, "rogue replication period R (rounds)")
 		rogueDet = fs.Float64("rogue-detect", 1, "honest per-contact detection probability")
@@ -79,6 +81,11 @@ func run(args []string) error {
 		Topology:       topology,
 		DaughterSpread: *spread,
 		Seed:           *seed,
+	}
+	if topology == popstab.SmallWorld {
+		cfg.RewireProb = *rewire
+	} else if *rewire != 0 {
+		return fmt.Errorf("-rewire requires -topology smallworld")
 	}
 	if *rogues != 0 || *roguePE != 0 {
 		cfg.Rogue = &popstab.RogueConfig{

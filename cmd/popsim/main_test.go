@@ -70,7 +70,8 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-protocol", "bogus"},                              // unknown protocol
 		{"-n", "4096", "-bits", "7"},                        // unsupported codec
 		{"-gamma", "3"},                                     // invalid gamma
-		{"-topology", "ring"},                               // unknown topology
+		{"-topology", "moebius"},                            // unknown topology
+		{"-n", "4096", "-rewire", "0.3"},                    // rewire without smallworld topology
 		{"-n", "4096", "-rogues", "-1"},                     // negative rogues... parsed but rejected downstream
 		{"-n", "4096", "-spread", "0.5"},                    // spread without torus topology
 		{"-n", "4096", "-rogues", "4", "-rogue-every", "0"}, // invalid period

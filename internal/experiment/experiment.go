@@ -1,6 +1,6 @@
 // Package experiment defines and runs the reproduction suite: one
 // experiment per quantitative claim of the paper (E1–E17) plus design
-// ablations and open-question probes (A1–A7), as indexed in DESIGN.md §4
+// ablations and open-question probes (A1–A8), as indexed in DESIGN.md §4
 // and reported in EXPERIMENTS.md.
 //
 // The paper is a theory result with no empirical tables or figures, so each

@@ -32,6 +32,15 @@ type Binder interface {
 	Bind(pop *population.Population, src *prng.Source)
 }
 
+// WorkerSetter is implemented by Matchers whose matching phase itself
+// shards across a goroutine pool (the spatial pipeline of spatial.go). The
+// engine calls SetWorkers once at construction with its resolved worker
+// count; like the engine's own Workers knob it is purely a throughput
+// setting — matcher output is bit-identical for every worker count.
+type WorkerSetter interface {
+	SetWorkers(n int)
+}
+
 // FromScheduler adapts a size-only Scheduler into a Matcher. The adaptation
 // is behavior-preserving: SampleMatch(pop, …) is exactly Sample(pop.Len(), …).
 func FromScheduler(s Scheduler) Matcher { return schedulerMatcher{s} }

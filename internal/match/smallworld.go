@@ -1,0 +1,108 @@
+package match
+
+import (
+	"fmt"
+	"math"
+
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// SmallWorld is the Watts-Strogatz topology of the gallery: the Ring
+// substrate with a rewiring parameter β. Each round, each agent's
+// candidate set is independently rewired with probability β — instead of
+// its nearest ring neighbors it proposes to uniformly random agents — so β
+// interpolates between pure 1-D locality (β = 0, exactly Ring's geometry)
+// and well-mixed-like long-range contact (β = 1). This is the per-round
+// analogue of Watts-Strogatz edge rewiring, adapted to a population whose
+// membership changes every round: rewiring a static lattice would not
+// survive insertions and swap-deletes, so the coin is re-flipped each
+// round from a per-agent counter-based stream.
+//
+// Determinism: rewiring coins come from prng counter streams keyed on
+// (matcher key, sample counter, agent index) — pure functions of the seed,
+// never of shard boundaries — so the sharded candidate phase stays
+// bit-identical across worker counts, and probe samples (which use a
+// distinct counter plane) cannot perturb the simulation trajectory.
+//
+// A rewired agent whose random candidates are all already matched when it
+// is visited stays unmatched that round (it does not fall back to its ring
+// neighborhood); with candK independent draws the miss probability is
+// negligible until the round is nearly fully matched.
+type SmallWorld struct {
+	// Sigma is the standard deviation of a daughter's offset from its
+	// parent on the ring, in circle units.
+	Sigma float64
+	// Beta is the per-agent per-round rewiring probability in [0, 1].
+	Beta float64
+
+	spatial[ringGeom]
+
+	// key identifies this matcher's rewiring counter streams, drawn from
+	// the bind stream.
+	key uint64
+}
+
+var (
+	_ Matcher      = (*SmallWorld)(nil)
+	_ Binder       = (*SmallWorld)(nil)
+	_ WorkerSetter = (*SmallWorld)(nil)
+)
+
+// NewSmallWorld validates sigma and beta and returns an unbound SmallWorld
+// matcher.
+func NewSmallWorld(sigma, beta float64) (*SmallWorld, error) {
+	if sigma <= 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("match: smallworld sigma %v not positive and finite", sigma)
+	}
+	if beta < 0 || beta > 1 || math.IsNaN(beta) {
+		return nil, fmt.Errorf("match: smallworld beta %v outside [0, 1]", beta)
+	}
+	return &SmallWorld{Sigma: sigma, Beta: beta}, nil
+}
+
+// Bind implements Binder: ring placement (uniform on the circle, daughters
+// 1-D Gaussian around their parent) plus the rewiring key draw.
+func (m *SmallWorld) Bind(pop *population.Population, src *prng.Source) {
+	m.key = src.Uint64()
+	m.bind(pop, src,
+		func() population.Point {
+			return population.Point{X: src.Float64()}
+		},
+		m.daughter)
+	m.rewrite = m.rewireCandidates
+}
+
+// MinFraction reports 0: no hard per-round coverage guarantee.
+func (m *SmallWorld) MinFraction() float64 { return 0 }
+
+// Name reports "smallworld(σ,β)".
+func (m *SmallWorld) Name() string {
+	return fmt.Sprintf("smallworld(%.3g,%.2f)", m.Sigma, m.Beta)
+}
+
+// daughter places a daughter near its parent on the circle.
+func (m *SmallWorld) daughter(parent population.Point) population.Point {
+	dx, _ := gaussianOffset(m.src, m.Sigma)
+	return population.Point{X: wrap(parent.X + dx)}
+}
+
+// rewireCandidates is the spatial pipeline's rewrite hook: with probability
+// Beta it replaces agent i's candidate list with len(dst) uniform draws
+// from the other agents, reporting how many it wrote; otherwise it returns
+// -1 and the geometric (ring) candidates stand. It runs concurrently from
+// shards: all randomness comes from the (key, call, i) counter stream.
+func (m *SmallWorld) rewireCandidates(i, n int, call uint64, dst []int32) int {
+	src := prng.AtCounter(m.key, call, uint64(i))
+	if !src.Prob(m.Beta) {
+		return -1
+	}
+	for k := range dst {
+		j := src.Intn(n - 1)
+		if j >= i {
+			j++ // uniform over [0, n) \ {i}
+		}
+		dst[k] = int32(j)
+	}
+	return len(dst)
+}

@@ -1,0 +1,506 @@
+package match
+
+import (
+	"math"
+	"sync"
+
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// This file is the shared chassis of every spatial Matcher (Torus, Ring,
+// Grid, SmallWorld): a position side-array bound through population.Tracker
+// hooks plus one sharded nearest-available matching pipeline. The concrete
+// matchers differ only in their geometry (bucket layout + metric) and their
+// placement closures; roughly 100 LoC each buys a new topology.
+//
+// # The sharded matching pipeline
+//
+// Nearest-available matching is a greedy sequential algorithm: agents are
+// visited in a random order and each pairs with its nearest still-unmatched
+// candidate, so the outcome of a visit depends on every earlier visit. The
+// pipeline keeps that serial walk — and therefore the exact pairings of the
+// historical serial implementation — but hoists all of the O(n) geometry
+// work out of it into embarrassingly parallel per-agent phases:
+//
+//  1. bucket (sharded): cellIdx[i] = cell of agent i — pure float math;
+//  2. scatter (serial): a stable counting sort builds the CSR cell index
+//     (cellStart/cellAgents), preserving ascending-index order within each
+//     cell — cheap integer passes, kept serial because the layout is
+//     order-dependent;
+//  3. candidates (sharded): each agent scans its neighborhood cells and
+//     keeps its candK nearest candidates, sorted by (distance, scan order)
+//     — the phase that dominates the round at N = 2²⁰, sharded across
+//     Workers with no shared writes (each agent owns its candidate slots);
+//  4. greedy walk (serial): visit agents in a random order drawn from the
+//     matcher's stream; each unmatched agent takes the first unmatched
+//     entry of its precomputed candidate list. Because the list is the
+//     prefix of the full stable ordering, "first unmatched stored
+//     candidate" IS the nearest unmatched candidate — unless all stored
+//     entries are taken while further candidates exist, in which case an
+//     exact fallback rescan of the neighborhood (same metric, same
+//     tie-breaking) recovers the answer.
+//
+// # Tie-breaking rule
+//
+// Candidates at exactly equal distance are ordered by scan position: cells
+// are visited in the geometry's fixed neighborhood order and agents within
+// a cell in ascending index order, and the bounded insertion sort of phase
+// 3 (like the fallback rescan's strict `<` minimum) lets the earliest
+// encounter win. This is the same rule the historical serial loop applied,
+// which is what makes the pipeline's output bit-identical to it — and,
+// since phases 1 and 3 are pure per-agent functions and phases 2 and 4 are
+// serial, bit-identical across every worker count.
+//
+// The pipeline itself consumes randomness only in the serial walk (the
+// visit permutation). Matchers that need per-agent coins inside the sharded
+// candidate phase (SmallWorld's rewiring) draw them from counter-based
+// streams keyed on (matcher key, sample counter, agent index) — see
+// prng.SeedCounter — so shard boundaries cannot perturb them.
+
+// candK is the number of nearest candidates precomputed per agent. Larger
+// values make the exact fallback rescan rarer but cost memory bandwidth in
+// the sharded candidate phase. The rescan runs in the SERIAL greedy walk,
+// so its frequency bounds the parallel speedup: at ~1 agent per cell, the
+// probability that an agent's 8 nearest are all matched before its visit
+// is a fraction of a percent, which keeps the walk's rescan time
+// negligible against the sharded phases.
+const candK = 8
+
+// maxNbrCells bounds a geometry's neighborhood size (3×3 cells in 2-D,
+// 3 cells in 1-D).
+const maxNbrCells = 9
+
+// minSpatialShard bounds how finely the sharded phases split: below ~1k
+// agents per worker the goroutine spawn overhead exceeds the per-agent
+// work. Purely a scheduling heuristic — output is worker-count-invariant.
+const minSpatialShard = 1024
+
+// geometry is the static-dispatch seam between the shared pipeline and a
+// concrete topology: bucket layout, neighborhood scan order, and metric.
+// The type parameter trick (G's prepare returns G) keeps every call
+// monomorphized — no interface dispatch on the per-candidate hot path.
+type geometry[G any] interface {
+	// prepare returns the geometry instance for a population of n agents
+	// (bucket-grid resolution derived from n).
+	prepare(n int) G
+	// numCells reports the bucket count of the prepared grid.
+	numCells() int
+	// cell maps a position to its bucket index.
+	cell(pt population.Point) int32
+	// neighborhood appends the buckets adjacent to c (including c) to buf
+	// in the fixed scan order that defines candidate tie-breaking.
+	neighborhood(c int32, buf []int32) []int32
+	// dist2 is the squared distance between two positions in this metric.
+	dist2(a, b population.Point) float64
+}
+
+// spatial is the shared state of a spatial matcher: the bound position
+// side-array, the worker count, and the pipeline's reusable buffers.
+// Concrete matchers embed it and call bind from their Bind.
+type spatial[G geometry[G]] struct {
+	geo     G
+	workers int
+
+	pos *population.Positions
+	src *prng.Source
+	// probeSrc feeds SampleProbe so measurement probes never perturb the
+	// placement stream (src) or the engine's matching stream.
+	probeSrc *prng.Source
+
+	// rewrite, when non-nil, may replace agent i's candidate list in the
+	// sharded candidate phase (SmallWorld rewiring): it writes up to
+	// len(dst) candidate indices into dst and returns how many, or -1 to
+	// keep the geometric candidates. It runs concurrently from shards and
+	// must be a pure function of (i, n, call) — per-agent randomness comes
+	// from counter-based streams, never from a shared Source.
+	rewrite func(i, n int, call uint64, dst []int32) int
+	// calls counts SampleMatch invocations (probe samples count
+	// separately, with probeBit set) — the per-round word of the rewrite
+	// hook's counter streams.
+	calls, probeCalls uint64
+
+	// Pipeline buffers, reused across rounds (1.5× growth slack).
+	cellIdx    []int32            // agent -> bucket
+	cellStart  []int32            // CSR: bucket c holds cellAgents[cellStart[c]:cellStart[c+1]]
+	cellCur    []int32            // scatter cursors
+	cellAgents []int32            // bucketed agent indices, ascending within a cell
+	posByCell  []population.Point // positions in CSR order — sequential reads in the candidate scan
+	cand       []int32            // candK nearest candidates per agent
+	candN      []uint8            // stored candidate count per agent
+	candTotal  []int32            // total candidates encountered per agent
+	order      []int32            // visit permutation
+}
+
+// probeBit distinguishes probe-sample rewrite streams from match-sample
+// streams so probing can never replay or perturb simulation randomness.
+const probeBit = uint64(1) << 63
+
+// bind attaches the position side-array (placement via the given closures)
+// and captures the matcher streams. Call exactly once, before the first
+// SampleMatch.
+func (s *spatial[G]) bind(pop *population.Population, src *prng.Source, place func() population.Point, spawn func(population.Point) population.Point) {
+	if s.pos != nil {
+		panic("match: spatial matcher bound twice")
+	}
+	s.src = src
+	s.probeSrc = src.Split()
+	s.pos = &population.Positions{Place: place, Spawn: spawn}
+	pop.Attach(s.pos)
+}
+
+// Positions exposes the bound position side-array (nil before Bind).
+func (s *spatial[G]) Positions() *population.Positions { return s.pos }
+
+// SetWorkers implements WorkerSetter: it sets the goroutine count of the
+// sharded pipeline phases. Output is bit-identical for every worker count;
+// the engine wires its own Workers value through at construction.
+func (s *spatial[G]) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// SampleMatch implements the Matcher sampling method with sharded
+// nearest-available matching over the bound positions, drawing the visit
+// order from src.
+func (s *spatial[G]) SampleMatch(pop *population.Population, src *prng.Source, p *Pairing) {
+	if s.pos == nil {
+		panic("match: spatial matcher used before Bind")
+	}
+	s.calls++
+	s.sample(pop.Len(), src, p, s.calls)
+}
+
+// SampleProbe draws one matching from a dedicated probe stream split off at
+// Bind time. Measurement probes (e.g. color-agreement sampling between
+// rounds) use it so they perturb neither the simulation's matching stream
+// nor the placement stream: a probed and an unprobed run of the same
+// configuration stay on identical trajectories.
+func (s *spatial[G]) SampleProbe(pop *population.Population, p *Pairing) {
+	if s.pos == nil {
+		panic("match: spatial matcher used before Bind")
+	}
+	s.probeCalls++
+	s.sample(pop.Len(), s.probeSrc, p, s.probeCalls|probeBit)
+}
+
+// ensure sizes the pipeline buffers for n agents over ncells buckets,
+// growing with 1.5× slack so a steadily growing population does not
+// reallocate every round.
+func (s *spatial[G]) ensure(n, ncells int) {
+	if cap(s.cellIdx) < n {
+		c := n + n/2
+		s.cellIdx = make([]int32, c)
+		s.cellAgents = make([]int32, c)
+		s.posByCell = make([]population.Point, c)
+		s.cand = make([]int32, candK*c)
+		s.candN = make([]uint8, c)
+		s.candTotal = make([]int32, c)
+		s.order = make([]int32, c)
+	}
+	if cap(s.cellStart) < ncells+1 {
+		c := ncells + 1 + ncells/2
+		s.cellStart = make([]int32, c)
+		s.cellCur = make([]int32, c)
+	}
+	s.cellIdx = s.cellIdx[:n]
+	s.cellAgents = s.cellAgents[:n]
+	s.posByCell = s.posByCell[:n]
+	s.cand = s.cand[:candK*n]
+	s.candN = s.candN[:n]
+	s.candTotal = s.candTotal[:n]
+	s.order = s.order[:n]
+	s.cellStart = s.cellStart[:ncells+1]
+	s.cellCur = s.cellCur[:ncells]
+}
+
+// sample runs the four-phase pipeline documented at the top of this file.
+func (s *spatial[G]) sample(n int, src *prng.Source, p *Pairing, call uint64) {
+	p.Reset(n)
+	if n < 2 {
+		return
+	}
+	pos := s.pos.Slice()
+	g := s.geo.prepare(n)
+	ncells := g.numCells()
+	s.ensure(n, ncells)
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Phase 1 (sharded): bucket every agent.
+	parallelFor(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.cellIdx[i] = g.cell(pos[i])
+		}
+	})
+
+	// Phase 2 (serial): stable counting-sort scatter into the CSR index.
+	// Ascending agent order within each cell is part of the tie-breaking
+	// contract, so the scatter stays serial (cheap integer passes).
+	start := s.cellStart
+	for i := range start {
+		start[i] = 0
+	}
+	for _, c := range s.cellIdx {
+		start[c+1]++
+	}
+	for c := 0; c < ncells; c++ {
+		start[c+1] += start[c]
+	}
+	s.scatter(pos, ncells, workers)
+
+	// Phase 3 (sharded): per-agent candK-nearest candidate selection,
+	// iterated in CSR order so agents of the same cell reuse each other's
+	// cached neighborhood rows, scanning the cell-sorted position copy
+	// (posByCell) in contiguous segments instead of gathering pos[] at
+	// random. The scan ORDER over candidates is unchanged — segments are
+	// maximal runs of consecutive cell ids in the geometry's neighborhood
+	// order — so tie-breaking (and the output) is bit-identical to the
+	// per-agent form.
+	rewrite := s.rewrite
+	parallelFor(n, workers, func(lo, hi int) {
+		var nbuf [maxNbrCells]int32
+		var segs [maxNbrCells][2]int32
+		// Locate the cell containing CSR slot lo.
+		c := int32(0)
+		{
+			hiC, loC := int32(ncells), int32(0)
+			for loC < hiC {
+				mid := (loC + hiC) / 2
+				if s.cellStart[mid+1] > int32(lo) {
+					hiC = mid
+				} else {
+					loC = mid + 1
+				}
+			}
+			c = loC
+		}
+		nseg := -1 // neighborhood segments of cell c not yet computed
+		for k := lo; k < hi; k++ {
+			for int32(k) >= s.cellStart[c+1] {
+				c++
+				nseg = -1
+			}
+			i := int(s.cellAgents[k])
+			if rewrite != nil {
+				if kn := rewrite(i, n, call, s.cand[i*candK:(i+1)*candK]); kn >= 0 {
+					s.candN[i] = uint8(kn)
+					s.candTotal[i] = int32(kn)
+					continue
+				}
+			}
+			if nseg < 0 {
+				cells := g.neighborhood(c, nbuf[:0])
+				nseg = 0
+				for si := 0; si < len(cells); {
+					sj := si + 1
+					for sj < len(cells) && cells[sj] == cells[sj-1]+1 {
+						sj++
+					}
+					segs[nseg] = [2]int32{s.cellStart[cells[si]], s.cellStart[cells[sj-1]+1]}
+					nseg++
+					si = sj
+				}
+			}
+			s.nearestCandidates(g, i, k, segs[:nseg])
+		}
+	})
+
+	// Phase 4 (serial): random-order greedy walk.
+	src.PermInt32Into(s.order)
+	var nbuf [maxNbrCells]int32
+	for _, oi := range s.order {
+		i := int(oi)
+		if p.Nbr[i] != Unmatched {
+			continue
+		}
+		best := int32(-1)
+		stored := int(s.candN[i])
+		for k := 0; k < stored; k++ {
+			if j := s.cand[i*candK+k]; p.Nbr[j] == Unmatched {
+				best = j
+				break
+			}
+		}
+		if best < 0 && int(s.candTotal[i]) > stored {
+			// All stored candidates were taken but the neighborhood holds
+			// more: exact fallback rescan (same metric, same tie-break).
+			best = s.rescan(g, pos, p, i, nbuf[:0])
+		}
+		if best >= 0 {
+			p.Nbr[i] = best
+			p.Nbr[best] = int32(i)
+		}
+	}
+}
+
+// maxScatterShards caps the parallel scatter's fan-out (each shard scans
+// the full cellIdx array, so extra shards past the memory bandwidth add
+// nothing).
+const maxScatterShards = 16
+
+// scatter fills cellAgents/posByCell with the stable counting-sort layout:
+// within each cell, agents appear in ascending index order. With one
+// worker it is the classic serial cursor scatter. With more, cells are
+// partitioned into contiguous ranges of roughly equal agent mass and each
+// worker scans the full cellIdx array but scatters only the agents of its
+// own cell range — every worker does the identical ascending-i walk, so
+// the layout (and therefore everything downstream) is bit-identical to the
+// serial scatter, and no two workers touch the same cursor or output slot.
+func (s *spatial[G]) scatter(pos []population.Point, ncells, workers int) {
+	n := len(s.cellIdx)
+	copy(s.cellCur, s.cellStart[:ncells])
+	w := workers
+	if w > maxScatterShards {
+		w = maxScatterShards
+	}
+	if lim := n / minSpatialShard; w > lim {
+		w = lim
+	}
+	if w <= 1 {
+		for i, c := range s.cellIdx {
+			at := s.cellCur[c]
+			s.cellAgents[at] = int32(i)
+			s.posByCell[at] = pos[i]
+			s.cellCur[c]++
+		}
+		return
+	}
+	// Partition cells at equal-agent-mass boundaries (binary search on the
+	// CSR prefix sums).
+	var bounds [maxScatterShards + 1]int32
+	bounds[w] = int32(ncells)
+	for k := 1; k < w; k++ {
+		target := int32(k * n / w)
+		lo, hi := int32(0), int32(ncells)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.cellStart[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bounds[k] = lo
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(cLo, cHi int32) {
+			defer wg.Done()
+			for i, c := range s.cellIdx {
+				if c < cLo || c >= cHi {
+					continue
+				}
+				at := s.cellCur[c]
+				s.cellAgents[at] = int32(i)
+				s.posByCell[at] = pos[i]
+				s.cellCur[c]++
+			}
+		}(bounds[k], bounds[k+1])
+	}
+	wg.Wait()
+}
+
+// nearestCandidates fills agent i's candidate slots with its candK nearest
+// neighbors in (distance, scan order) — the prefix of the full stable
+// ordering — via a bounded stable insertion sort over the neighborhood
+// segments. selfK is agent i's own CSR slot (skipped); segs are [start,
+// end) ranges of posByCell/cellAgents covering the neighborhood in exact
+// scan order.
+func (s *spatial[G]) nearestCandidates(g G, i, selfK int, segs [][2]int32) {
+	var bd [candK]float64
+	base := i * candK
+	stored, total := 0, 0
+	pi := s.posByCell[selfK]
+	for _, sg := range segs {
+		for k2 := sg[0]; k2 < sg[1]; k2++ {
+			if int(k2) == selfK {
+				continue
+			}
+			total++
+			d := g.dist2(pi, s.posByCell[k2])
+			if stored == candK && d >= bd[candK-1] {
+				continue
+			}
+			// Insertion point: after every stored candidate with distance
+			// ≤ d, so equal distances keep scan order (stability).
+			at := stored
+			for at > 0 && d < bd[at-1] {
+				at--
+			}
+			if stored < candK {
+				stored++
+			}
+			for m := stored - 1; m > at; m-- {
+				bd[m] = bd[m-1]
+				s.cand[base+m] = s.cand[base+m-1]
+			}
+			bd[at] = d
+			s.cand[base+at] = s.cellAgents[k2]
+		}
+	}
+	s.candN[i] = uint8(stored)
+	s.candTotal[i] = int32(total)
+}
+
+// rescan is the exact nearest-unmatched search over agent i's neighborhood:
+// the historical serial algorithm, used only when the precomputed candidate
+// prefix is exhausted.
+func (s *spatial[G]) rescan(g G, pos []population.Point, p *Pairing, i int, nbuf []int32) int32 {
+	best := int32(-1)
+	bestD := math.Inf(1)
+	for _, c := range g.neighborhood(s.cellIdx[i], nbuf) {
+		for _, j := range s.cellAgents[s.cellStart[c]:s.cellStart[c+1]] {
+			if int(j) == i || p.Nbr[j] != Unmatched {
+				continue
+			}
+			if d := g.dist2(pos[i], pos[j]); d < bestD {
+				bestD = d
+				best = j
+			}
+		}
+	}
+	return best
+}
+
+// parallelFor runs fn over up to `workers` contiguous shards of [0, n),
+// inline on the caller's goroutine when one shard suffices. Shard
+// boundaries are invisible to callers whose fn is a pure per-index
+// function.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	w := workers
+	if lim := n / minSpatialShard; w > lim {
+		w = lim
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(k*n/w, (k+1)*n/w)
+	}
+	wg.Wait()
+}
+
+// gaussianOffset draws a 2-D Gaussian offset of standard deviation sigma
+// via Box-Muller from two uniforms of src — the daughter-placement kernel
+// shared by the spatial matchers.
+func gaussianOffset(src *prng.Source, sigma float64) (dx, dy float64) {
+	u1 := src.Float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := src.Float64()
+	r := sigma * math.Sqrt(-2*math.Log(u1))
+	return r * math.Cos(2*math.Pi*u2), r * math.Sin(2*math.Pi*u2)
+}

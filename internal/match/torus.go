@@ -21,26 +21,23 @@ import (
 // geometry. Matching pairs each agent with the nearest unmatched agent in
 // its 3×3 grid neighborhood, visiting agents in random order: coverage is
 // high (most agents have a close unmatched neighbor) but pairs are strongly
-// local — the property under test in experiments A5 and A7.
+// local — the property under test in experiments A5, A7, and A8. The
+// matching runs on the sharded spatial pipeline (spatial.go): bucketing and
+// candidate search split across SetWorkers goroutines with output
+// bit-identical to the serial algorithm for every worker count.
 type Torus struct {
 	// Sigma is the standard deviation of a daughter's offset from its
 	// parent, in torus units (callers usually derive it from the mean
 	// inter-agent spacing 1/√N).
 	Sigma float64
 
-	pos *population.Positions
-	src *prng.Source
-	// probeSrc feeds SampleProbe so measurement probes never perturb the
-	// placement stream (src) or the engine's matching stream.
-	probeSrc *prng.Source
-
-	// grid buckets agent indices by cell for neighbor search.
-	grid [][]int32
+	spatial[torusGeom]
 }
 
 var (
-	_ Matcher = (*Torus)(nil)
-	_ Binder  = (*Torus)(nil)
+	_ Matcher      = (*Torus)(nil)
+	_ Binder       = (*Torus)(nil)
+	_ WorkerSetter = (*Torus)(nil)
 )
 
 // NewTorus validates sigma and returns an unbound Torus matcher.
@@ -56,22 +53,12 @@ func NewTorus(sigma float64) (*Torus, error) {
 // parent) and keeps src for placement randomness. Bind must be called
 // exactly once, before the first SampleMatch.
 func (t *Torus) Bind(pop *population.Population, src *prng.Source) {
-	if t.pos != nil {
-		panic("match: Torus bound twice")
-	}
-	t.src = src
-	t.probeSrc = src.Split()
-	t.pos = &population.Positions{
-		Place: func() population.Point {
+	t.bind(pop, src,
+		func() population.Point {
 			return population.Point{X: src.Float64(), Y: src.Float64()}
 		},
-		Spawn: t.daughter,
-	}
-	pop.Attach(t.pos)
+		t.daughter)
 }
-
-// Positions exposes the bound position side-array (nil before Bind).
-func (t *Torus) Positions() *population.Positions { return t.pos }
 
 // MinFraction reports 0: nearest-neighbor matching gives no hard per-round
 // coverage guarantee (though realized coverage is high).
@@ -80,39 +67,11 @@ func (t *Torus) MinFraction() float64 { return 0 }
 // Name reports "torus(σ)".
 func (t *Torus) Name() string { return fmt.Sprintf("torus(%.3g)", t.Sigma) }
 
-// SampleMatch implements Matcher with nearest-available matching over the
-// bound positions, drawing the visit order from src.
-func (t *Torus) SampleMatch(pop *population.Population, src *prng.Source, p *Pairing) {
-	if t.pos == nil {
-		panic("match: Torus used before Bind")
-	}
-	t.sample(pop.Len(), src, p)
-}
-
-// SampleProbe draws one matching from a dedicated probe stream split off at
-// Bind time. Measurement probes (e.g. color-agreement sampling between
-// rounds) use it so they perturb neither the simulation's matching stream
-// nor the placement stream: a probed and an unprobed run of the same
-// configuration stay on identical trajectories.
-func (t *Torus) SampleProbe(pop *population.Population, p *Pairing) {
-	if t.pos == nil {
-		panic("match: Torus used before Bind")
-	}
-	t.sample(pop.Len(), t.probeSrc, p)
-}
-
 // daughter places a daughter near its parent: a Gaussian offset of standard
-// deviation Sigma via Box-Muller from two uniforms, wrapped onto the torus.
+// deviation Sigma, wrapped onto the torus.
 func (t *Torus) daughter(parent population.Point) population.Point {
-	u1 := t.src.Float64()
-	if u1 < 1e-12 {
-		u1 = 1e-12
-	}
-	u2 := t.src.Float64()
-	r := t.Sigma * math.Sqrt(-2*math.Log(u1))
-	x := parent.X + r*math.Cos(2*math.Pi*u2)
-	y := parent.Y + r*math.Sin(2*math.Pi*u2)
-	return population.Point{X: wrap(x), Y: wrap(y)}
+	dx, dy := gaussianOffset(t.src, t.Sigma)
+	return population.Point{X: wrap(parent.X + dx), Y: wrap(parent.Y + dy)}
 }
 
 // wrap reduces a coordinate into [0, 1).
@@ -137,68 +96,55 @@ func TorusDist2(a, b population.Point) float64 {
 	return dx*dx + dy*dy
 }
 
-// sample pairs each agent with the nearest unmatched agent within its 3×3
-// grid neighborhood, visiting agents in random order from src.
-func (t *Torus) sample(n int, src *prng.Source, p *Pairing) {
-	p.Reset(n)
-	if n < 2 {
-		return
-	}
-	pos := t.pos.Slice()
+// torusGeom is the 2-D wrapped geometry: a √n × √n bucket grid with 3×3
+// neighborhoods (wrapping at the edges) under the toroidal metric.
+type torusGeom struct{ side int }
+
+var _ geometry[torusGeom] = torusGeom{}
+
+func (torusGeom) prepare(n int) torusGeom {
 	side := int(math.Sqrt(float64(n)))
 	if side < 1 {
 		side = 1
 	}
-	if cap(t.grid) < side*side {
-		t.grid = make([][]int32, side*side)
-	}
-	t.grid = t.grid[:side*side]
-	for i := range t.grid {
-		t.grid[i] = t.grid[i][:0]
-	}
-	cellOf := func(pt population.Point) (int, int) {
-		cx := int(pt.X * float64(side))
-		cy := int(pt.Y * float64(side))
-		if cx >= side {
-			cx = side - 1
-		}
-		if cy >= side {
-			cy = side - 1
-		}
-		return cx, cy
-	}
-	for i := 0; i < n; i++ {
-		cx, cy := cellOf(pos[i])
-		idx := cy*side + cx
-		t.grid[idx] = append(t.grid[idx], int32(i))
-	}
-
-	order := src.Perm(n)
-	for _, i := range order {
-		if p.Nbr[i] != Unmatched {
-			continue
-		}
-		cx, cy := cellOf(pos[i])
-		best := int32(-1)
-		bestD := math.Inf(1)
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				gx := (cx + dx + side) % side
-				gy := (cy + dy + side) % side
-				for _, j := range t.grid[gy*side+gx] {
-					if int(j) == i || p.Nbr[j] != Unmatched {
-						continue
-					}
-					if d := TorusDist2(pos[i], pos[j]); d < bestD {
-						bestD = d
-						best = j
-					}
-				}
-			}
-		}
-		if best >= 0 {
-			p.Nbr[i] = best
-			p.Nbr[best] = int32(i)
-		}
-	}
+	return torusGeom{side: side}
 }
+
+func (g torusGeom) numCells() int { return g.side * g.side }
+
+func (g torusGeom) cell(pt population.Point) int32 {
+	cx := int(pt.X * float64(g.side))
+	cy := int(pt.Y * float64(g.side))
+	if cx >= g.side {
+		cx = g.side - 1
+	}
+	if cy >= g.side {
+		cy = g.side - 1
+	}
+	return int32(cy*g.side + cx)
+}
+
+func (g torusGeom) neighborhood(c int32, buf []int32) []int32 {
+	side := g.side
+	cx, cy := int(c)%side, int(c)/side
+	if cx > 0 && cx < side-1 && cy > 0 && cy < side-1 {
+		// Interior fast path (the overwhelming majority of cells): no
+		// wrapping, rows are three consecutive ids — same scan order as
+		// the general loop below, without the modulo arithmetic.
+		for gy := cy - 1; gy <= cy+1; gy++ {
+			row := int32(gy*side + cx)
+			buf = append(buf, row-1, row, row+1)
+		}
+		return buf
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			gx := (cx + dx + side) % side
+			gy := (cy + dy + side) % side
+			buf = append(buf, int32(gy*side+gx))
+		}
+	}
+	return buf
+}
+
+func (torusGeom) dist2(a, b population.Point) float64 { return TorusDist2(a, b) }

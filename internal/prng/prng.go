@@ -185,6 +185,19 @@ func (src *Source) Perm(n int) []int {
 	return p
 }
 
+// PermInt32Into fills p with a uniformly random permutation of [0, len(p)).
+// It draws the exact same variate sequence as Perm (identity fill followed
+// by a Fisher-Yates shuffle), so callers can swap Perm for a reusable
+// buffer without perturbing downstream randomness; hot paths (the spatial
+// matchers' per-round visit order) use it to avoid an O(n) allocation every
+// round.
+func (src *Source) PermInt32Into(p []int32) {
+	for i := range p {
+		p[i] = int32(i)
+	}
+	src.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+}
+
 // PartialShuffleInt32 shuffles the first k positions of p uniformly, as in a
 // truncated Fisher-Yates: after the call, p[0:k] is a uniformly random
 // k-subset of the original elements in uniformly random order. The remaining

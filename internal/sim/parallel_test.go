@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"popstab/internal/adversary"
+	"popstab/internal/match"
 	"popstab/internal/population"
 	"popstab/internal/protocol"
 )
@@ -153,5 +155,42 @@ func TestScratchGrowthSlack(t *testing.T) {
 	e.RunRound()
 	if got, min := cap(e.msgs), 2*p.N; got < min+min/2 {
 		t.Errorf("scratch capacity %d after growth to %d, want >= %d", got, min, min+min/2)
+	}
+}
+
+// workerRecorder is a Matcher that records the worker count the engine
+// hands it through the match.WorkerSetter seam.
+type workerRecorder struct {
+	match.Matcher
+	got int
+}
+
+func (w *workerRecorder) SetWorkers(n int) { w.got = n }
+
+// TestEngineWiresMatcherWorkers pins the WorkerSetter plumbing: the engine
+// propagates its resolved worker count (including the NumCPU default for
+// Workers = 0) to matchers that shard their own matching phase.
+func TestEngineWiresMatcherWorkers(t *testing.T) {
+	p := fastParams(t)
+	for _, workers := range []int{0, 1, 3} {
+		pr, err := protocol.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := match.NewUniform(p.Gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &workerRecorder{Matcher: match.FromScheduler(u)}
+		if _, err := New(Config{Params: p, Protocol: pr, Seed: 1, Workers: workers, Matcher: rec}); err != nil {
+			t.Fatal(err)
+		}
+		want := workers
+		if want == 0 {
+			want = runtime.NumCPU()
+		}
+		if rec.got != want {
+			t.Errorf("Workers=%d: matcher got %d, want %d", workers, rec.got, want)
+		}
 	}
 }

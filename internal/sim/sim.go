@@ -311,6 +311,13 @@ func buildEngine(cfg Config, pop *population.Population) (*Engine, error) {
 		return nil, fmt.Errorf("sim: program epoch length %d < 1", e.epochLen)
 	}
 
+	// Matchers that shard their own matching phase (the spatial pipeline)
+	// inherit the engine's worker count; like Workers itself this is purely
+	// a throughput knob — matcher output is worker-count-invariant.
+	if ws, ok := matcher.(match.WorkerSetter); ok {
+		ws.SetWorkers(workers)
+	}
+
 	root := prng.New(cfg.Seed)
 	e.protoKey = root.Split().Uint64()
 	e.schedSrc = root.Split()

@@ -13,7 +13,7 @@
 //   - the §1.2 extensions (malicious programs, geometric communication,
 //     clock drift), composable with each other and with any adversary
 //     through Config.Topology and Config.Rogue;
-//   - the reproduction experiment suite (E1–E17, A1–A7);
+//   - the reproduction experiment suite (E1–E17, A1–A8);
 //   - one deterministic parallel round engine behind pluggable
 //     communication (Matcher) and program (Stepper) seams: per-agent
 //     counter-based randomness makes simulation output bit-identical
@@ -126,14 +126,27 @@ func ProtocolKindFromString(s string) (ProtocolKind, error) {
 // engine treats topology, program, and intervention as orthogonal axes.
 type Topology int
 
-// Supported topologies.
+// Supported topologies, in decreasing order of mixing (increasing order of
+// locality). All spatial topologies run on the same sharded matching
+// pipeline and position side-array machinery (internal/match).
 const (
 	// Mixed is the model's well-mixed uniform γ-matching (the default).
 	Mixed Topology = iota
 	// Torus places agents on the unit 2-torus and matches nearest
 	// neighbors; daughters appear next to their parent (§1.2 "Alternate
-	// communication models", experiments A5/A7).
+	// communication models", experiments A5/A7/A8).
 	Torus
+	// Grid is the bounded planar analogue of Torus: the unit square under
+	// the Euclidean metric, with boundary effects instead of wraparound.
+	Grid
+	// Ring places agents on the unit circle (1-D) and matches nearest
+	// neighbors — the strongest-locality topology in the gallery.
+	Ring
+	// SmallWorld is Ring with Watts-Strogatz rewiring: each agent's
+	// candidate set is rewired to uniformly random agents with probability
+	// Config.RewireProb each round, interpolating between Ring (0) and
+	// near-well-mixed contact (1).
+	SmallWorld
 )
 
 // String names the topology.
@@ -143,6 +156,12 @@ func (t Topology) String() string {
 		return "mixed"
 	case Torus:
 		return "torus"
+	case Grid:
+		return "grid"
+	case Ring:
+		return "ring"
+	case SmallWorld:
+		return "smallworld"
 	default:
 		return fmt.Sprintf("topology(%d)", int(t))
 	}
@@ -155,9 +174,21 @@ func TopologyFromString(s string) (Topology, error) {
 		return Mixed, nil
 	case "torus":
 		return Torus, nil
+	case "grid":
+		return Grid, nil
+	case "ring":
+		return Ring, nil
+	case "smallworld":
+		return SmallWorld, nil
 	default:
 		return 0, fmt.Errorf("popstab: unknown topology %q", s)
 	}
+}
+
+// Topologies lists every supported topology in declaration order (the
+// gallery sweep order of experiment A8 and the CLI help text).
+func Topologies() []Topology {
+	return []Topology{Mixed, Torus, Grid, Ring, SmallWorld}
 }
 
 // RogueConfig enables the §1.2 malicious-program extension: rogue agents
@@ -204,12 +235,18 @@ type Config struct {
 	// Scheduler overrides the communication scheduler (nil = uniform
 	// γ-matching). Incompatible with Topology: Torus.
 	Scheduler Scheduler
-	// Topology selects the communication topology (default Mixed). Torus
-	// composes with any Protocol, Adversary, and Rogue configuration.
+	// Topology selects the communication topology (default Mixed). Every
+	// topology composes with any Protocol, Adversary, and Rogue
+	// configuration.
 	Topology Topology
-	// DaughterSpread is the torus daughter-placement spread as a fraction
-	// of the mean inter-agent spacing 1/√N (0 = 1.0; Torus only).
+	// DaughterSpread is the daughter-placement spread as a fraction of the
+	// mean inter-agent spacing — 1/√N on the 2-D topologies (Torus, Grid),
+	// 1/N on the 1-D ones (Ring, SmallWorld). 0 = 1.0; spatial topologies
+	// only.
 	DaughterSpread float64
+	// RewireProb is the Watts-Strogatz rewiring probability β in [0, 1]
+	// (0 = 0.1; SmallWorld only).
+	RewireProb float64
 	// Rogue, when non-nil, runs the malicious-program extension on top of
 	// the selected protocol and topology.
 	Rogue *RogueConfig
@@ -309,16 +346,22 @@ func New(cfg Config) (*Sim, error) {
 		Workers:     cfg.Workers,
 	}
 
-	// Topology axis: Torus swaps the uniform scheduler for the spatial
-	// nearest-neighbor matcher (positions ride a population side-array).
-	switch cfg.Topology {
-	case Mixed:
+	// Topology axis: the spatial topologies swap the uniform scheduler for
+	// a nearest-available matcher riding a position side-array; all share
+	// the sharded matching pipeline and inherit Workers.
+	if cfg.Topology == Mixed {
 		if cfg.DaughterSpread != 0 {
-			return nil, fmt.Errorf("popstab: DaughterSpread requires Topology: Torus")
+			return nil, fmt.Errorf("popstab: DaughterSpread requires a spatial topology")
 		}
-	case Torus:
+		if cfg.RewireProb != 0 {
+			return nil, fmt.Errorf("popstab: RewireProb requires Topology: SmallWorld")
+		}
+	} else {
 		if cfg.Scheduler != nil {
-			return nil, fmt.Errorf("popstab: Scheduler is incompatible with Topology: Torus")
+			return nil, fmt.Errorf("popstab: Scheduler is incompatible with spatial topologies")
+		}
+		if cfg.RewireProb != 0 && cfg.Topology != SmallWorld {
+			return nil, fmt.Errorf("popstab: RewireProb requires Topology: SmallWorld")
 		}
 		spread := cfg.DaughterSpread
 		if spread == 0 {
@@ -327,14 +370,35 @@ func New(cfg Config) (*Sim, error) {
 		if spread < 0 {
 			return nil, fmt.Errorf("popstab: negative DaughterSpread %v", spread)
 		}
-		torus, err := match.NewTorus(spread / math.Sqrt(float64(p.N)))
+		// Daughter spread in units of the mean inter-agent spacing: 1/√N
+		// on the 2-D topologies, 1/N on the 1-D ones.
+		sigma2 := spread / math.Sqrt(float64(p.N))
+		sigma1 := spread / float64(p.N)
+		var (
+			matcher match.Matcher
+			err     error
+		)
+		switch cfg.Topology {
+		case Torus:
+			matcher, err = match.NewTorus(sigma2)
+		case Grid:
+			matcher, err = match.NewGrid(sigma2)
+		case Ring:
+			matcher, err = match.NewRing(sigma1)
+		case SmallWorld:
+			beta := cfg.RewireProb
+			if beta == 0 {
+				beta = 0.1
+			}
+			matcher, err = match.NewSmallWorld(sigma1, beta)
+		default:
+			return nil, fmt.Errorf("popstab: unknown topology %d", int(cfg.Topology))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("popstab: %w", err)
 		}
-		simCfg.Matcher = torus
+		simCfg.Matcher = matcher
 		simCfg.Scheduler = nil
-	default:
-		return nil, fmt.Errorf("popstab: unknown topology %d", int(cfg.Topology))
 	}
 
 	// Program axis: the malicious-program extension wraps any protocol (and

@@ -234,7 +234,7 @@ func TestRecordEpochs(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := popstab.ExperimentIDs()
-	if len(ids) != 24 {
+	if len(ids) != 25 {
 		t.Fatalf("suite has %d experiments: %v", len(ids), ids)
 	}
 	title, claim, err := popstab.ExperimentInfo("E13")
@@ -290,6 +290,24 @@ func TestParallelWorkersEquivalence(t *testing.T) {
 		name: "rogue-on-torus",
 		cfg: popstab.Config{N: 4096, Tinner: 24, Seed: 34, Topology: popstab.Torus,
 			Rogue: &popstab.RogueConfig{ReplicateEvery: 8, DetectProb: 1, InitialRogues: 32}},
+	})
+	// The rest of the topology gallery: all spatial matchers shard their
+	// own matching phase, so they must stay bit-identical across worker
+	// counts too (including under an adversary, whose insertions exercise
+	// the Place hook).
+	arms = append(arms, arm{
+		name: "grid-adversarial",
+		cfg: popstab.Config{N: 4096, Tinner: 24, Seed: 35, Topology: popstab.Grid,
+			Adversary: popstab.NewGreedy(), K: 2},
+	})
+	arms = append(arms, arm{
+		name: "ring",
+		cfg:  popstab.Config{N: 4096, Tinner: 24, Seed: 36, Topology: popstab.Ring},
+	})
+	arms = append(arms, arm{
+		name: "smallworld",
+		cfg: popstab.Config{N: 4096, Tinner: 24, Seed: 37, Topology: popstab.SmallWorld,
+			RewireProb: 0.25},
 	})
 
 	const rounds = 300
@@ -364,17 +382,40 @@ func TestTopologyConfig(t *testing.T) {
 	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Topology: popstab.Topology(9)}); err == nil {
 		t.Error("accepted unknown topology")
 	}
-	for in, want := range map[string]popstab.Topology{"": popstab.Mixed, "mixed": popstab.Mixed, "torus": popstab.Torus} {
+	for in, want := range map[string]popstab.Topology{
+		"": popstab.Mixed, "mixed": popstab.Mixed, "torus": popstab.Torus,
+		"grid": popstab.Grid, "ring": popstab.Ring, "smallworld": popstab.SmallWorld,
+	} {
 		got, err := popstab.TopologyFromString(in)
 		if err != nil || got != want {
 			t.Errorf("TopologyFromString(%q) = %v, %v", in, got, err)
 		}
 	}
-	if _, err := popstab.TopologyFromString("ring"); err == nil {
+	if _, err := popstab.TopologyFromString("moebius"); err == nil {
 		t.Error("parsed unknown topology name")
 	}
-	if popstab.Torus.String() != "torus" || popstab.Mixed.String() != "mixed" {
-		t.Error("topology names changed")
+	// Round trip: every gallery topology parses back from its name.
+	for _, topo := range popstab.Topologies() {
+		got, err := popstab.TopologyFromString(topo.String())
+		if err != nil || got != topo {
+			t.Errorf("topology %v does not round-trip: %v, %v", topo, got, err)
+		}
+	}
+	// RewireProb is SmallWorld-only and validated.
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, RewireProb: 0.5}); err == nil {
+		t.Error("accepted RewireProb on the mixed topology")
+	}
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Topology: popstab.Ring,
+		RewireProb: 0.5}); err == nil {
+		t.Error("accepted RewireProb on the ring topology")
+	}
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Topology: popstab.SmallWorld,
+		RewireProb: 1.5}); err == nil {
+		t.Error("accepted RewireProb outside [0, 1]")
+	}
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Topology: popstab.SmallWorld,
+		RewireProb: 0.3}); err != nil {
+		t.Errorf("rejected valid SmallWorld config: %v", err)
 	}
 }
 
