@@ -59,6 +59,33 @@ func NewGreedy() Adversary { return adversary.NewGreedy() }
 // the acute-injury scenario from the paper's biological motivation.
 func NewTrauma(startRound, rounds uint64) Adversary { return adversary.NewTrauma(startRound, rounds) }
 
+// NewPatchDeleter concentrates every deletion inside one ball of the
+// topology (spec.Center, spec.Radius), nearest agents first — the deletion
+// form of the patch attack. On a non-spatial topology it degrades to
+// uniform random deletion.
+func NewPatchDeleter(spec PatchSpec) Adversary {
+	return adversary.NewPatchDeleter(spec.Center, spec.Radius)
+}
+
+// NewClusterInserter seeds a patch of fake recruiting leaders of the given
+// color at adversary-chosen points inside the ball — the footnote-9 attack,
+// spatially concentrated. On a non-spatial topology the positions are
+// ignored.
+func NewClusterInserter(spec PatchSpec, color uint8) Adversary {
+	in := adversary.NewClusterInserter(spec.Center, spec.Radius, adversary.FakeLeaderGen(color))
+	in.Label = fmt.Sprintf("insert-cluster-leader%d(r=%.3g)", color, spec.Radius)
+	return in
+}
+
+// NewRewireDenier owns the SmallWorld long-range link assignment: agents
+// inside the ball are pinned to their ring neighborhood (spec.Radius < 0:
+// every agent), re-shielding a patch from the long-range contacts that
+// would otherwise reach its interior. Costs no alteration budget and works
+// at K = 0; inert on non-SmallWorld topologies.
+func NewRewireDenier(spec PatchSpec) Adversary {
+	return adversary.NewRewireDenier(spec.Center, spec.Radius)
+}
+
 // NewComposite runs several strategies in order against a shared budget.
 func NewComposite(label string, parts ...Adversary) Adversary {
 	return adversary.NewComposite(label, parts...)
@@ -91,8 +118,31 @@ func adversaryFactories() map[string]func(p Params) Adversary {
 	}
 }
 
-// AdversaryNames lists the strategy names accepted by NewAdversaryByName,
-// sorted.
+// spatialAdversaryFactories maps CLI names to constructors of the
+// patch-attack family, parameterized by the patch ball. These strategies
+// need a spatial topology to act as designed (NewSpatialAdversaryByName
+// documents their non-spatial degradation).
+func spatialAdversaryFactories() map[string]func(p Params, spec PatchSpec) Adversary {
+	return map[string]func(p Params, spec PatchSpec) Adversary{
+		"delete-patch":    func(_ Params, spec PatchSpec) Adversary { return NewPatchDeleter(spec) },
+		"cluster-leader0": func(_ Params, spec PatchSpec) Adversary { return NewClusterInserter(spec, 0) },
+		"cluster-leader1": func(_ Params, spec PatchSpec) Adversary { return NewClusterInserter(spec, 1) },
+		"rewire-deny":     func(_ Params, spec PatchSpec) Adversary { return NewRewireDenier(spec) },
+		"rewire-deny-all": func(_ Params, spec PatchSpec) Adversary {
+			spec.Radius = -1
+			return NewRewireDenier(spec)
+		},
+		// The combined patch attack: dig the hole and refill it with fake
+		// leaders, both in the same ball, budget split between the halves
+		// (alternating favor, so it works under K=1 pacing too).
+		"patch-combo": func(_ Params, spec PatchSpec) Adversary {
+			return adversary.NewPatchCombo(spec.Center, spec.Radius, nil)
+		},
+	}
+}
+
+// AdversaryNames lists the position-blind strategy names accepted by
+// NewAdversaryByName, sorted.
 func AdversaryNames() []string {
 	m := adversaryFactories()
 	names := make([]string, 0, len(m))
@@ -103,11 +153,35 @@ func AdversaryNames() []string {
 	return names
 }
 
-// NewAdversaryByName constructs a strategy from its CLI name.
+// SpatialAdversaryNames lists the patch-family strategy names accepted by
+// NewSpatialAdversaryByName, sorted.
+func SpatialAdversaryNames() []string {
+	m := spatialAdversaryFactories()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewAdversaryByName constructs a position-blind strategy from its CLI name.
 func NewAdversaryByName(name string, p Params) (Adversary, error) {
 	if f, ok := adversaryFactories()[name]; ok {
 		return f(p), nil
 	}
 	return nil, fmt.Errorf("popstab: unknown adversary %q (available: %s)",
 		name, strings.Join(AdversaryNames(), ", "))
+}
+
+// NewSpatialAdversaryByName constructs a patch-family strategy from its CLI
+// name and patch ball. The strategies are safe to select on any topology:
+// delete-patch degrades to uniform deletion, cluster-leader* to unplaced
+// insertion, and the rewire strategies are inert off SmallWorld.
+func NewSpatialAdversaryByName(name string, p Params, spec PatchSpec) (Adversary, error) {
+	if f, ok := spatialAdversaryFactories()[name]; ok {
+		return f(p, spec), nil
+	}
+	return nil, fmt.Errorf("popstab: unknown spatial adversary %q (available: %s)",
+		name, strings.Join(SpatialAdversaryNames(), ", "))
 }

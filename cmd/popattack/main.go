@@ -3,12 +3,15 @@
 // population displacement each achieves — a quick map of where the
 // protocol's tolerance ends. With a spatial -topology (torus, grid, ring,
 // smallworld) the same grid runs under geometric (nearest-available)
-// communication — the A7/A8 scenarios.
+// communication — the A7/A8 scenarios — and the grid additionally includes
+// the position-aware patch strategy family (delete-patch, cluster-leader*,
+// rewire-deny*, patch-combo), parameterized by the -patch-* ball.
 //
 // Examples:
 //
 //	popattack -n 4096 -epochs 20 -budgets 0,8,32,128,512
 //	popattack -n 4096 -topology torus -epochs 10
+//	popattack -n 4096 -topology ring -patch-r 0.1 -epochs 10
 //	popattack -n 4096 -topology smallworld -epochs 10
 package main
 
@@ -38,6 +41,9 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 1, "PRNG seed")
 		topo       = fs.String("topology", "mixed", "communication topology: mixed|torus|grid|ring|smallworld")
 		budgetList = fs.String("budgets", "", "comma-separated per-epoch budgets (empty = 0,1x,4x,16x of N^(1/4))")
+		patchX     = fs.Float64("patch-x", 0.5, "patch ball center X (spatial strategies)")
+		patchY     = fs.Float64("patch-y", 0.5, "patch ball center Y (2-D topologies)")
+		patchR     = fs.Float64("patch-r", 0.05, "patch ball radius (arc half-length on 1-D topologies)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +52,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	spec := popstab.PatchSpec{Center: popstab.Point{X: *patchX, Y: *patchY}, Radius: *patchR}
 
 	probe, err := popstab.New(popstab.Config{N: *n, Tinner: *tinner, Seed: *seed})
 	if err != nil {
@@ -75,13 +82,19 @@ func run(args []string) error {
 	}
 	fmt.Println()
 
-	for _, name := range popstab.AdversaryNames() {
+	names := popstab.AdversaryNames()
+	// The patch family needs positions to act as designed, so it joins the
+	// grid only on spatial topologies.
+	if topology != popstab.Mixed {
+		names = append(names, popstab.SpatialAdversaryNames()...)
+	}
+	for _, name := range names {
 		if name == "none" {
 			continue
 		}
 		fmt.Printf("%-18s", name)
 		for _, b := range budgets {
-			dev, violated, err := runCell(*n, *tinner, *seed, *epochs, name, b, topology)
+			dev, violated, err := runCell(*n, *tinner, *seed, *epochs, name, b, topology, spec)
 			if err != nil {
 				return err
 			}
@@ -96,8 +109,22 @@ func run(args []string) error {
 	return nil
 }
 
+// newAdversary resolves a strategy name against the position-blind registry
+// first, then the patch family; an unknown name lists BOTH registries (a
+// typo of a main strategy must not be answered with only the spatial names).
+func newAdversary(name string, p popstab.Params, spec popstab.PatchSpec) (popstab.Adversary, error) {
+	if adv, err := popstab.NewAdversaryByName(name, p); err == nil {
+		return adv, nil
+	}
+	if adv, err := popstab.NewSpatialAdversaryByName(name, p, spec); err == nil {
+		return adv, nil
+	}
+	all := append(popstab.AdversaryNames(), popstab.SpatialAdversaryNames()...)
+	return nil, fmt.Errorf("unknown adversary %q (available: %s)", name, strings.Join(all, ", "))
+}
+
 // runCell measures the worst relative displacement for one strategy/budget.
-func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, topology popstab.Topology) (float64, bool, error) {
+func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, topology popstab.Topology, spec popstab.PatchSpec) (float64, bool, error) {
 	cfg := popstab.Config{N: n, Tinner: tinner, Seed: seed, Topology: topology}
 	probe, err := popstab.New(cfg)
 	if err != nil {
@@ -105,7 +132,7 @@ func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, to
 	}
 	params := probe.Params()
 	if budget > 0 {
-		adv, err := popstab.NewAdversaryByName(name, params)
+		adv, err := newAdversary(name, params, spec)
 		if err != nil {
 			return 0, false, err
 		}

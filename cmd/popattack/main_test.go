@@ -6,8 +6,13 @@ import (
 	"popstab"
 )
 
+// testSpec is the patch ball used by the spatial cells.
+func testSpec() popstab.PatchSpec {
+	return popstab.PatchSpec{Center: popstab.Point{X: 0.5, Y: 0.5}, Radius: 0.05}
+}
+
 func TestRunCell(t *testing.T) {
-	dev, violated, err := runCell(4096, 24, 1, 2, "delete-random", 8, popstab.Mixed)
+	dev, violated, err := runCell(4096, 24, 1, 2, "delete-random", 8, popstab.Mixed, popstab.PatchSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,19 +25,19 @@ func TestRunCell(t *testing.T) {
 }
 
 func TestRunCellZeroBudget(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 0, popstab.Mixed); err != nil {
+	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 0, popstab.Mixed, popstab.PatchSpec{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCellTorus(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, popstab.Torus); err != nil {
+	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, popstab.Torus, testSpec()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCellBadStrategy(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "bogus", 8, popstab.Mixed); err == nil {
+	if _, _, err := runCell(4096, 24, 1, 1, "bogus", 8, popstab.Mixed, popstab.PatchSpec{}); err == nil {
 		t.Error("accepted unknown strategy")
 	}
 }
@@ -56,8 +61,22 @@ func TestRunRejectsBadBudgets(t *testing.T) {
 // gallery topologies.
 func TestRunCellGallery(t *testing.T) {
 	for _, topo := range []popstab.Topology{popstab.Grid, popstab.Ring, popstab.SmallWorld} {
-		if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, topo); err != nil {
+		if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, topo, testSpec()); err != nil {
 			t.Fatalf("%v: %v", topo, err)
+		}
+	}
+}
+
+// TestRunCellPatchFamily smoke-tests each patch strategy on a spatial
+// topology (rewire strategies on SmallWorld, where they bind).
+func TestRunCellPatchFamily(t *testing.T) {
+	for _, name := range popstab.SpatialAdversaryNames() {
+		topo := popstab.Ring
+		if name == "rewire-deny" || name == "rewire-deny-all" {
+			topo = popstab.SmallWorld
+		}
+		if _, _, err := runCell(4096, 24, 1, 1, name, 8, topo, testSpec()); err != nil {
+			t.Fatalf("%s on %v: %v", name, topo, err)
 		}
 	}
 }

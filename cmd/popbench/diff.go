@@ -57,6 +57,11 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 		oldByID[e.ID] = e
 	}
 
+	// Experiments present only in the new document are reported as "added"
+	// — informational, never a failure: a PR that introduces an experiment
+	// should not need a baseline refresh to merge, and an added DEVIATION
+	// is the new experiment's own problem (popbench -json already exits
+	// non-zero on it), not a regression of the baseline.
 	var regressions, fixed, added []string
 	for _, oldE := range oldRep.Experiments {
 		newE, ok := newByID[oldE.ID]
@@ -85,13 +90,13 @@ func runDiff(w io.Writer, oldPath, newPath string) error {
 		}
 	}
 
-	fmt.Fprintf(w, "verdicts: %d compared, %d regressed, %d fixed, %d new\n",
+	fmt.Fprintf(w, "verdicts: %d compared, %d regressed, %d fixed, %d added\n",
 		len(oldRep.Experiments), len(regressions), len(fixed), len(added))
 	for _, id := range fixed {
 		fmt.Fprintf(w, "  fixed: %s now reproduces\n", id)
 	}
 	for _, a := range added {
-		fmt.Fprintf(w, "  new:   %s\n", a)
+		fmt.Fprintf(w, "  added: %s (informational; refresh the baseline to start gating it)\n", a)
 	}
 
 	warnings := diffBenchmarks(w, oldRep.Benchmarks, newRep.Benchmarks)

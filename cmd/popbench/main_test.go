@@ -205,3 +205,27 @@ func TestDiffWarnsWhenAllBenchmarksGone(t *testing.T) {
 		t.Errorf("no-benchmarks-anywhere warned: %v", warns)
 	}
 }
+
+// TestDiffAddedExperimentInformational: experiments present only in the new
+// document are reported as added but never fail the diff — not even when
+// the added experiment itself deviates (a new experiment's failure is its
+// own, not a baseline regression).
+func TestDiffAddedExperimentInformational(t *testing.T) {
+	old := writeReport(t, baseReport())
+	newRep := baseReport()
+	newRep.Experiments = append(newRep.Experiments,
+		jsonExperiment{ID: "A9", Title: "patch attacks", Verdict: "REPRODUCED: ok", Reproduced: true},
+		jsonExperiment{ID: "A10", Title: "hypothetical", Verdict: "DEVIATION: bad", Reproduced: false})
+	neu := writeReport(t, newRep)
+
+	var sb strings.Builder
+	if err := runDiff(&sb, old, neu); err != nil {
+		t.Fatalf("added experiments failed the diff: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2 added", "added: A9 (reproduced)", "added: A10 (DEVIATION)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}

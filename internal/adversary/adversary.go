@@ -26,7 +26,12 @@ import (
 )
 
 // View is the adversary's read access to the system: the full memory of
-// every agent plus the global clock, per the model.
+// every agent plus the global clock, per the model — and, on a spatial
+// communication topology, the agents' positions and the topology's metric
+// (the paper's adversary observes the entire system state; on the §1.2
+// geometric models the geometry is part of that state, not an
+// implementation detail). Position-blind View implementations embed
+// Flatland for the spatial methods.
 type View interface {
 	// Len reports the current population size.
 	Len() int
@@ -46,10 +51,54 @@ type View interface {
 	// pred, in container order, returning the extended slice. limit < 0
 	// means unlimited.
 	Find(dst []int, limit int, pred func(agent.State) bool) []int
+
+	// HasSpace reports whether the communication model carries agent
+	// positions. The remaining spatial methods degrade gracefully when it
+	// is false.
+	HasSpace() bool
+	// Pos returns agent i's position (the zero Point without space).
+	Pos(i int) population.Point
+	// Dist2 is the squared distance between two positions under the
+	// topology's metric (0 without space).
+	Dist2(a, b population.Point) float64
+	// FindNear appends to dst the indices of up to limit agents within
+	// distance r of center, in container order, returning the extended
+	// slice. limit < 0 means unlimited. Without space it returns dst
+	// unchanged.
+	FindNear(dst []int, limit int, center population.Point, r float64) []int
+	// PatchPoint draws a position uniformly within distance r of center
+	// under the topology's geometry, consuming src (center itself without
+	// space).
+	PatchPoint(center population.Point, r float64, src *prng.Source) population.Point
+}
+
+// Flatland provides the position-blind defaults of View's spatial methods;
+// View implementations over non-spatial systems embed it.
+type Flatland struct{}
+
+// HasSpace reports false.
+func (Flatland) HasSpace() bool { return false }
+
+// Pos returns the zero Point.
+func (Flatland) Pos(int) population.Point { return population.Point{} }
+
+// Dist2 reports 0 (there is no metric).
+func (Flatland) Dist2(a, b population.Point) float64 { return 0 }
+
+// FindNear returns dst unchanged (no agent has a position).
+func (Flatland) FindNear(dst []int, limit int, center population.Point, r float64) []int {
+	return dst
+}
+
+// PatchPoint returns center, consuming nothing.
+func (Flatland) PatchPoint(center population.Point, r float64, src *prng.Source) population.Point {
+	return center
 }
 
 // Mutator is the adversary's write access, with the per-round budget K
-// enforced. Every successful Delete or Insert consumes one unit.
+// enforced. Every successful Delete, Insert, InsertAt, or DeleteNear victim
+// consumes one unit; the spatial operations degrade to their position-blind
+// forms when the communication model carries no positions.
 type Mutator interface {
 	// Delete marks agent i for removal at the end of the adversary's turn.
 	// It reports false (consuming nothing) if the budget is exhausted, the
@@ -60,6 +109,17 @@ type Mutator interface {
 	// physical register would store it. Reports false if the budget is
 	// exhausted.
 	Insert(s agent.State) bool
+	// InsertAt is Insert with an adversary-chosen position: the agent
+	// appears at pt instead of the topology's oblivious placement ("inserted
+	// agents appear wherever the adversary chooses"). Without space the
+	// point is ignored and InsertAt is exactly Insert.
+	InsertAt(s agent.State, pt population.Point) bool
+	// DeleteNear marks for deletion up to limit agents (limit < 0 means
+	// budget-bounded only) within distance r of center, nearest first under
+	// the topology's metric with ties broken by ascending index, and
+	// reports how many it marked. Each victim consumes one budget unit.
+	// Without space it marks nothing.
+	DeleteNear(center population.Point, r float64, limit int) int
 	// Remaining reports the unused budget for this round.
 	Remaining() int
 }
@@ -84,17 +144,38 @@ func (None) Name() string { return "none" }
 // Act does nothing.
 func (None) Act(View, Mutator, *prng.Source) {}
 
+// Insertion is one staged insertion: the inserted state and, when Placed,
+// the adversary-chosen position.
+type Insertion struct {
+	// State is the inserted agent's full memory.
+	State agent.State
+	// At is the chosen position; meaningful only when Placed.
+	At population.Point
+	// Placed reports whether the insertion carries an explicit position
+	// (InsertAt on a spatial topology) or uses the oblivious placement.
+	Placed bool
+}
+
 // Budget tracks and enforces the per-round alteration budget K shared by
 // insertions and deletions. The engine owns one Budget per adversary turn;
 // it implements Mutator over staged operations so that index semantics are
-// stable while the adversary is still reading the View.
+// stable while the adversary is still reading the View. On a spatial
+// topology the engine additionally binds the position side-array and metric
+// (BindSpace) so the spatial Mutator operations resolve against the same
+// state the View exposes.
 type Budget struct {
 	k         int
 	used      int
 	deletions map[int]struct{}
-	inserts   []agent.State
+	inserts   []Insertion
 	epochLen  int
 	popLen    int
+
+	// pos and dist2 are the bound space (nil without a spatial topology).
+	// pos is read-only for the turn: structural mutations are staged, so
+	// the slice stays valid until the engine applies them.
+	pos   []population.Point
+	dist2 func(a, b population.Point) float64
 }
 
 var _ Mutator = (*Budget)(nil)
@@ -108,6 +189,15 @@ func NewBudget(k, popLen, epochLen int) *Budget {
 		epochLen:  epochLen,
 		popLen:    popLen,
 	}
+}
+
+// BindSpace attaches the position side-array and metric of the round's
+// spatial topology, enabling InsertAt and DeleteNear. The engine calls it
+// once per turn, before the strategy acts; pos must stay unmutated for the
+// turn (the Budget only stages operations, so it upholds this itself).
+func (b *Budget) BindSpace(pos []population.Point, dist2 func(a, b population.Point) float64) {
+	b.pos = pos
+	b.dist2 = dist2
 }
 
 // Delete implements Mutator.
@@ -125,15 +215,76 @@ func (b *Budget) Delete(i int) bool {
 
 // Insert implements Mutator.
 func (b *Budget) Insert(s agent.State) bool {
+	return b.insert(s, population.Point{}, false)
+}
+
+// InsertAt implements Mutator: the insertion carries the chosen position
+// when a space is bound, and degrades to Insert otherwise.
+func (b *Budget) InsertAt(s agent.State, pt population.Point) bool {
+	return b.insert(s, pt, b.pos != nil)
+}
+
+// insert stages one insertion against the budget.
+func (b *Budget) insert(s agent.State, pt population.Point, placed bool) bool {
 	if b.used >= b.k {
 		return false
 	}
 	if b.epochLen > 0 && int(s.Round) >= b.epochLen {
 		s.Round %= uint32(b.epochLen)
 	}
-	b.inserts = append(b.inserts, s)
+	b.inserts = append(b.inserts, Insertion{State: s, At: pt, Placed: placed})
 	b.used++
 	return true
+}
+
+// DeleteNear implements Mutator: victims are the unmarked agents within
+// distance r of center, taken nearest first (ties by ascending index), each
+// consuming one budget unit.
+func (b *Budget) DeleteNear(center population.Point, r float64, limit int) int {
+	if b.pos == nil || b.used >= b.k {
+		return 0
+	}
+	quota := b.k - b.used
+	if limit >= 0 && limit < quota {
+		quota = limit
+	}
+	if quota <= 0 {
+		return 0
+	}
+	// Collect candidates within the ball, then order by (distance, index).
+	// The scan is O(n) over the side-array — the adversary's turn is serial
+	// and the model's adversary is computationally unbounded, so clarity
+	// wins over sublinear indexing here.
+	type cand struct {
+		i int
+		d float64
+	}
+	r2 := r * r
+	var cands []cand
+	for i, pt := range b.pos {
+		if _, dup := b.deletions[i]; dup {
+			continue
+		}
+		if d := b.dist2(center, pt); d <= r2 {
+			cands = append(cands, cand{i, d})
+		}
+	}
+	sort.Slice(cands, func(x, y int) bool {
+		if cands[x].d != cands[y].d {
+			return cands[x].d < cands[y].d
+		}
+		return cands[x].i < cands[y].i
+	})
+	marked := 0
+	for _, c := range cands {
+		if marked >= quota {
+			break
+		}
+		if b.Delete(c.i) {
+			marked++
+		}
+	}
+	return marked
 }
 
 // Remaining implements Mutator.
@@ -153,8 +304,9 @@ func (b *Budget) Deletions() []int {
 	return out
 }
 
-// Inserts returns the staged insertions.
-func (b *Budget) Inserts() []agent.State { return b.inserts }
+// Inserts returns the staged insertions in stage order; the engine applies
+// them after the deletions, honoring each Insertion's position when Placed.
+func (b *Budget) Inserts() []Insertion { return b.inserts }
 
 // String summarizes the staged operations.
 func (b *Budget) String() string {

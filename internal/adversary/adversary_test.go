@@ -10,8 +10,10 @@ import (
 	"popstab/internal/prng"
 )
 
-// fakeView implements View over a plain state slice for strategy tests.
+// fakeView implements View over a plain state slice for strategy tests;
+// Flatland supplies the position-blind spatial methods.
 type fakeView struct {
+	Flatland
 	states []agent.State
 	round  uint64
 	p      params.Params
@@ -88,7 +90,7 @@ func TestBudgetSanitizesInsertedRound(t *testing.T) {
 	b := NewBudget(1, 10, 144)
 	b.Insert(agent.State{Round: 1000})
 	ins := b.Inserts()
-	if len(ins) != 1 || int(ins[0].Round) >= 144 {
+	if len(ins) != 1 || int(ins[0].State.Round) >= 144 {
 		t.Errorf("inserted round not sanitized: %+v", ins)
 	}
 }
@@ -186,7 +188,8 @@ func TestBenignInserterCorrectRound(t *testing.T) {
 	if len(ins) != 4 {
 		t.Fatalf("inserted %d, want 4", len(ins))
 	}
-	for _, s := range ins {
+	for _, ins := range ins {
+		s := ins.State
 		if s.Round != 37 || s.Active {
 			t.Errorf("benign insert state %+v", s)
 		}
@@ -199,7 +202,8 @@ func TestWrongRoundInserterOffset(t *testing.T) {
 	in := NewWrongRoundInserter(5)
 	b := NewBudget(2, 10, v.p.T)
 	in.Act(v, b, prng.New(7))
-	for _, s := range b.Inserts() {
+	for _, ins := range b.Inserts() {
+		s := ins.State
 		if s.Round != 15 {
 			t.Errorf("inserted round %d, want 15", s.Round)
 		}
@@ -209,7 +213,7 @@ func TestWrongRoundInserterOffset(t *testing.T) {
 	in2 := NewWrongRoundInserter(-5)
 	b2 := NewBudget(1, 10, v.p.T)
 	in2.Act(v, b2, prng.New(8))
-	if got := int(b2.Inserts()[0].Round); got != v.p.T-3 {
+	if got := int(b2.Inserts()[0].State.Round); got != v.p.T-3 {
 		t.Errorf("wrapped round %d, want %d", got, v.p.T-3)
 	}
 }
@@ -219,7 +223,8 @@ func TestEvalFlooder(t *testing.T) {
 	in := NewEvalFlooder()
 	b := NewBudget(3, 10, v.p.T)
 	in.Act(v, b, prng.New(9))
-	for _, s := range b.Inserts() {
+	for _, ins := range b.Inserts() {
+		s := ins.State
 		if int(s.Round) != v.p.T-1 || !s.Active {
 			t.Errorf("eval-flood state %+v", s)
 		}
@@ -232,7 +237,8 @@ func TestFakeLeaderInserter(t *testing.T) {
 	in := NewFakeLeaderInserter(0)
 	b := NewBudget(2, 10, v.p.T)
 	in.Act(v, b, prng.New(10))
-	for _, s := range b.Inserts() {
+	for _, ins := range b.Inserts() {
+		s := ins.State
 		if !s.Active || !s.Recruiting || s.Color != 0 || int(s.ToRecruit) != v.p.HalfLogN {
 			t.Errorf("fake leader state %+v", s)
 		}
@@ -245,7 +251,8 @@ func TestSingletonInserter(t *testing.T) {
 	b := NewBudget(8, 10, v.p.T)
 	in.Act(v, b, prng.New(11))
 	colors := [2]int{}
-	for _, s := range b.Inserts() {
+	for _, ins := range b.Inserts() {
+		s := ins.State
 		if !s.Active || s.Recruiting || s.ToRecruit != 0 {
 			t.Errorf("singleton state %+v", s)
 		}
@@ -304,7 +311,8 @@ func TestColorSkewerUp(t *testing.T) {
 	if len(b.Deletions()) == 0 {
 		t.Error("skew-up deleted nothing")
 	}
-	for _, s := range b.Inserts() {
+	for _, ins := range b.Inserts() {
+		s := ins.State
 		if s.Color != 0 || !s.Active {
 			t.Errorf("skew-up inserted %+v, want color-0 leaders", s)
 		}

@@ -4,6 +4,8 @@ import (
 	"strings"
 
 	"popstab/internal/agent"
+	"popstab/internal/match"
+	"popstab/internal/population"
 	"popstab/internal/prng"
 )
 
@@ -46,6 +48,13 @@ func (c *Composite) Act(v View, m Mutator, src *prng.Source) {
 	}
 }
 
+// BindMatcher implements MatcherBinder by delegation to every part.
+func (c *Composite) BindMatcher(m match.Matcher) {
+	for _, p := range c.Parts {
+		bindMatcher(p, m)
+	}
+}
+
 // Alternator switches between two strategies every Period rounds, modeling
 // an adversary that altenately inflates and deflates to resonate with the
 // protocol's correction dynamics.
@@ -66,6 +75,12 @@ func (a *Alternator) Name() string {
 		return a.Label
 	}
 	return "alternate(" + a.A.Name() + "," + a.B.Name() + ")"
+}
+
+// BindMatcher implements MatcherBinder by delegation to both phases.
+func (a *Alternator) BindMatcher(m match.Matcher) {
+	bindMatcher(a.A, m)
+	bindMatcher(a.B, m)
 }
 
 // Act implements Adversary.
@@ -249,6 +264,30 @@ func (c *cappedMutator) Insert(s agent.State) bool {
 		return true
 	}
 	return false
+}
+
+func (c *cappedMutator) InsertAt(s agent.State, pt population.Point) bool {
+	if c.used >= c.cap {
+		return false
+	}
+	if c.m.InsertAt(s, pt) {
+		c.used++
+		return true
+	}
+	return false
+}
+
+func (c *cappedMutator) DeleteNear(center population.Point, r float64, limit int) int {
+	quota := c.cap - c.used
+	if quota <= 0 {
+		return 0
+	}
+	if limit >= 0 && limit < quota {
+		quota = limit
+	}
+	n := c.m.DeleteNear(center, r, quota)
+	c.used += n
+	return n
 }
 
 func (c *cappedMutator) Remaining() int {

@@ -3,6 +3,7 @@ package adversary
 import (
 	"fmt"
 
+	"popstab/internal/match"
 	"popstab/internal/prng"
 )
 
@@ -44,6 +45,10 @@ func (p *Paced) Act(v View, m Mutator, src *prng.Source) {
 	}
 	p.Inner.Act(v, m, src)
 }
+
+// BindMatcher implements MatcherBinder by delegation, so pacing a
+// matcher-bound strategy (RewireAdversary) keeps its binding.
+func (p *Paced) BindMatcher(m match.Matcher) { bindMatcher(p.Inner, m) }
 
 // PerEpoch distributes a per-epoch alteration budget across an epoch: given
 // the epoch length T and a desired budget of perEpoch alterations per epoch

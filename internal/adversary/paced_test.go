@@ -1,0 +1,135 @@
+package adversary
+
+import (
+	"testing"
+
+	"popstab/internal/agent"
+	"popstab/internal/prng"
+)
+
+// countingAdversary records the rounds on which it was allowed to act and
+// spends its full budget each time.
+type countingAdversary struct {
+	rounds []uint64
+}
+
+var _ Adversary = (*countingAdversary)(nil)
+
+func (c *countingAdversary) Name() string { return "counter" }
+func (c *countingAdversary) Act(v View, m Mutator, _ *prng.Source) {
+	c.rounds = append(c.rounds, v.GlobalRound())
+	for m.Remaining() > 0 {
+		m.Insert(agent.State{})
+	}
+}
+
+// TestPerEpochEpochRolloverBoundary pins the pacing behavior at the epoch
+// boundary: how many K-sized actions land inside each epoch window when the
+// pacing period does and does not divide the epoch length, and that the
+// rollover neither skips nor double-schedules an action.
+//
+// Paced acts on rounds r with r % period == 0, so the schedule is global and
+// epoch-oblivious; the boundary cases of interest are
+//
+//   - the budget is exhausted exactly on the last round of an epoch
+//     (period | epochLen: the final action lands at round epochLen−period,
+//     and the NEXT action is the first round of the next epoch), and
+//   - the period does not divide the epoch length, so one epoch absorbs an
+//     extra action and the phase drifts across epochs.
+func TestPerEpochEpochRolloverBoundary(t *testing.T) {
+	cases := []struct {
+		name               string
+		epochLen, perEpoch int
+		k                  int
+		wantPeriod         uint64
+		// wantPerEpoch[i] is the number of action rounds in epoch window i.
+		wantPerEpoch []int
+		// wantBoundary asserts whether round epochLen (first of epoch 1) is
+		// an action round.
+		wantBoundary bool
+	}{
+		{
+			// period 3 divides 12: 4 actions per epoch at rounds 0,3,6,9 —
+			// the budget is spent by round 9 and the very first round of the
+			// next epoch starts the next cycle. No epoch gets 5, none 3.
+			name: "divides-evenly", epochLen: 12, perEpoch: 4, k: 1,
+			wantPeriod: 3, wantPerEpoch: []int{4, 4, 4}, wantBoundary: true,
+		},
+		{
+			// Exhaustion ON the last round: period 1 acts every round, so
+			// round 11 (last of epoch 0) and round 12 (first of epoch 1) are
+			// both action rounds — adjacent epochs share no action but no
+			// round is skipped either.
+			name: "every-round", epochLen: 12, perEpoch: 12, k: 1,
+			wantPeriod: 1, wantPerEpoch: []int{12, 12, 12}, wantBoundary: true,
+		},
+		{
+			// period 3 does not divide 10: epoch 0 catches rounds 0,3,6,9 —
+			// the "extra" action lands on the epoch's last round — and epoch
+			// 1 (rounds 10..19) catches 12,15,18: the phase drifts and the
+			// boundary round 10 is NOT an action round.
+			name: "drifting-phase", epochLen: 10, perEpoch: 3, k: 1,
+			wantPeriod: 3, wantPerEpoch: []int{4, 3, 3}, wantBoundary: false,
+		},
+		{
+			// K > 1: 5 alterations at K=2 need 3 actions, period 4; actions
+			// at 0,4,8 spend 6 ≥ 5 per epoch and the boundary round 12 acts.
+			name: "k-bundling", epochLen: 12, perEpoch: 5, k: 2,
+			wantPeriod: 4, wantPerEpoch: []int{3, 3, 3}, wantBoundary: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			period := PerEpoch(tc.epochLen, tc.perEpoch, tc.k)
+			if period != tc.wantPeriod {
+				t.Fatalf("PerEpoch(%d,%d,%d) = %d, want %d",
+					tc.epochLen, tc.perEpoch, tc.k, period, tc.wantPeriod)
+			}
+			inner := &countingAdversary{}
+			paced := NewPaced(period, inner)
+			v := testView(t, 10)
+			epochs := len(tc.wantPerEpoch)
+			for r := 0; r < epochs*tc.epochLen; r++ {
+				v.round = uint64(r)
+				paced.Act(v, NewBudget(tc.k, 10, tc.epochLen), prng.New(1))
+			}
+			perEpoch := make([]int, epochs)
+			for _, r := range inner.rounds {
+				if r%period != 0 {
+					t.Fatalf("action on off-schedule round %d (period %d)", r, period)
+				}
+				perEpoch[int(r)/tc.epochLen]++
+			}
+			for i, want := range tc.wantPerEpoch {
+				if perEpoch[i] != want {
+					t.Errorf("epoch %d: %d actions, want %d (rounds %v)",
+						i, perEpoch[i], want, inner.rounds)
+				}
+			}
+			boundary := false
+			for _, r := range inner.rounds {
+				if r == uint64(tc.epochLen) {
+					boundary = true
+				}
+			}
+			if boundary != tc.wantBoundary {
+				t.Errorf("first round of epoch 1 action = %v, want %v", boundary, tc.wantBoundary)
+			}
+		})
+	}
+}
+
+// TestPerEpochNeverWithinEpoch pins the degenerate budgets: a non-positive
+// per-epoch budget or cap paces the strategy beyond the epoch length, so it
+// never fires inside one epoch.
+func TestPerEpochNeverWithinEpoch(t *testing.T) {
+	for _, k := range []int{0, 1} {
+		period := PerEpoch(12, 0, k)
+		if period <= 12 {
+			t.Errorf("PerEpoch(12,0,%d) = %d, want > epoch length", k, period)
+		}
+	}
+	if period := PerEpoch(12, 5, 0); period <= 12 {
+		t.Errorf("PerEpoch(12,5,0) = %d, want > epoch length", period)
+	}
+}

@@ -168,6 +168,22 @@ func NewEvalFlooder() *Inserter {
 	}
 }
 
+// FakeLeaderGen generates a recruiting cluster root of the given color with
+// the correct round counter — the insertion state of the footnote-9 attack,
+// shared by NewFakeLeaderInserter and the spatial ClusterInserter.
+func FakeLeaderGen(color uint8) StateGen {
+	return func(v View, _ *prng.Source) agent.State {
+		p := v.Params()
+		return agent.State{
+			Round:      uint32(v.EpochRound()),
+			Active:     true,
+			Color:      color,
+			Recruiting: true,
+			ToRecruit:  int8(p.HalfLogN),
+		}
+	}
+}
+
 // NewFakeLeaderInserter inserts recruiting cluster roots of a fixed color
 // with the correct round counter. Each seeds a cluster of up to √N agents of
 // that color, skewing the color distribution to raise the same-color meeting
@@ -176,16 +192,7 @@ func NewEvalFlooder() *Inserter {
 func NewFakeLeaderInserter(color uint8) *Inserter {
 	return &Inserter{
 		Label: fmt.Sprintf("insert-leader%d", color),
-		Gen: func(v View, _ *prng.Source) agent.State {
-			p := v.Params()
-			return agent.State{
-				Round:      uint32(v.EpochRound()),
-				Active:     true,
-				Color:      color,
-				Recruiting: true,
-				ToRecruit:  int8(p.HalfLogN),
-			}
-		},
+		Gen:   FakeLeaderGen(color),
 	}
 }
 

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	wantIDs := []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
 		"E11", "E12", "E13", "E14", "E15", "E16", "E17",
-		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
+		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9",
 	}
 	all := All()
 	if len(all) != len(wantIDs) {

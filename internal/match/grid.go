@@ -30,6 +30,7 @@ var (
 	_ Matcher      = (*Grid)(nil)
 	_ Binder       = (*Grid)(nil)
 	_ WorkerSetter = (*Grid)(nil)
+	_ Space        = (*Grid)(nil)
 )
 
 // NewGrid validates sigma and returns an unbound Grid matcher.
@@ -139,3 +140,17 @@ func (g gridGeom) neighborhood(c int32, buf []int32) []int32 {
 }
 
 func (gridGeom) dist2(a, b population.Point) float64 { return EuclidDist2(a, b) }
+
+// patch draws uniformly in the disc of radius r around center and reflects
+// at the square's walls (same folding rule as daughter placement).
+func (gridGeom) patch(src *prng.Source, center population.Point, r float64) population.Point {
+	if r <= 0 {
+		return center
+	}
+	rho := r * math.Sqrt(src.Float64())
+	theta := 2 * math.Pi * src.Float64()
+	return population.Point{
+		X: reflect01(center.X + rho*math.Cos(theta)),
+		Y: reflect01(center.Y + rho*math.Sin(theta)),
+	}
+}

@@ -41,6 +41,26 @@ type WorkerSetter interface {
 	SetWorkers(n int)
 }
 
+// Space is implemented by spatial Matchers and describes their geometry to
+// position-aware consumers — the adversary seam above all. The engine
+// type-asserts its matcher against Space at construction and, when present,
+// threads positions and metric into the adversary's View/Mutator (DESIGN.md
+// §7): the paper's adversary observes the full state of the system, and on a
+// spatial topology the positions are part of that state, not an
+// implementation detail.
+type Space interface {
+	// Positions exposes the bound position side-array (nil before Bind).
+	Positions() *population.Positions
+	// Dist2 is the squared distance between two positions under this
+	// topology's metric (wrapped, Euclidean, or circular).
+	Dist2(a, b population.Point) float64
+	// PatchPoint draws a position uniformly at random within distance r of
+	// center under this topology's geometry, consuming src. Callers own src:
+	// the adversary passes its private stream, so patch sampling never
+	// perturbs the matcher's placement stream.
+	PatchPoint(center population.Point, r float64, src *prng.Source) population.Point
+}
+
 // FromScheduler adapts a size-only Scheduler into a Matcher. The adaptation
 // is behavior-preserving: SampleMatch(pop, …) is exactly Sample(pop.Len(), …).
 func FromScheduler(s Scheduler) Matcher { return schedulerMatcher{s} }

@@ -30,6 +30,7 @@ var (
 	_ Matcher      = (*Ring)(nil)
 	_ Binder       = (*Ring)(nil)
 	_ WorkerSetter = (*Ring)(nil)
+	_ Space        = (*Ring)(nil)
 )
 
 // NewRing validates sigma and returns an unbound Ring matcher.
@@ -105,3 +106,15 @@ func (g ringGeom) neighborhood(c int32, buf []int32) []int32 {
 }
 
 func (ringGeom) dist2(a, b population.Point) float64 { return RingDist2(a, b) }
+
+// patch draws uniformly on the arc of half-length r around center (the 1-D
+// ball: arc length 2r, capped at the full circle) and wraps.
+func (ringGeom) patch(src *prng.Source, center population.Point, r float64) population.Point {
+	if r <= 0 {
+		return center
+	}
+	if r > 0.5 {
+		r = 0.5
+	}
+	return population.Point{X: wrap(center.X + (2*src.Float64()-1)*r)}
+}

@@ -29,6 +29,12 @@ import (
 // is visited stays unmatched that round (it does not fall back to its ring
 // neighborhood); with candK independent draws the miss probability is
 // negligible until the round is nearly fully matched.
+//
+// The long-range link assignment is itself adversary-visible state: a
+// RewireController installed with SetRewireController can force or deny
+// individual agents' rewiring (adversarial rewiring — the adversary chooses
+// which agents get long-range links). Directives are consulted before the β
+// coin, per agent, from the sharded candidate phase.
 type SmallWorld struct {
 	// Sigma is the standard deviation of a daughter's offset from its
 	// parent on the ring, in circle units.
@@ -41,12 +47,47 @@ type SmallWorld struct {
 	// key identifies this matcher's rewiring counter streams, drawn from
 	// the bind stream.
 	key uint64
+	// ctl is the adversary's rewiring override (nil = pure β coin).
+	ctl RewireController
 }
+
+// RewireMode is a per-agent rewiring directive from a RewireController.
+type RewireMode uint8
+
+// Rewiring directives.
+const (
+	// RewireDefault leaves the agent on the β coin.
+	RewireDefault RewireMode = iota
+	// RewireForce rewires the agent unconditionally this round.
+	RewireForce
+	// RewireDeny pins the agent to its ring neighborhood this round.
+	RewireDeny
+)
+
+// RewireController lets an adversary own the long-range link assignment of a
+// SmallWorld round: Mode is consulted for every agent before the β coin,
+// with the agent's current position (valid at matching time regardless of
+// how insertions and swap-deletions reshuffled indices since the adversary's
+// turn).
+//
+// Concurrency/determinism contract: Mode is called concurrently from the
+// sharded candidate phase and must be a pure read — any state it consults
+// must be written only in the serial phases of the round (the adversary's
+// turn precedes the matching), and its answer must depend only on (i, pt)
+// and that state, never on shard boundaries or call order.
+type RewireController interface {
+	Mode(i int, pt population.Point) RewireMode
+}
+
+// SetRewireController installs (or, with nil, removes) the adversary's
+// rewiring override. Serial phases only.
+func (m *SmallWorld) SetRewireController(c RewireController) { m.ctl = c }
 
 var (
 	_ Matcher      = (*SmallWorld)(nil)
 	_ Binder       = (*SmallWorld)(nil)
 	_ WorkerSetter = (*SmallWorld)(nil)
+	_ Space        = (*SmallWorld)(nil)
 )
 
 // NewSmallWorld validates sigma and beta and returns an unbound SmallWorld
@@ -90,12 +131,26 @@ func (m *SmallWorld) daughter(parent population.Point) population.Point {
 // rewireCandidates is the spatial pipeline's rewrite hook: with probability
 // Beta it replaces agent i's candidate list with len(dst) uniform draws
 // from the other agents, reporting how many it wrote; otherwise it returns
-// -1 and the geometric (ring) candidates stand. It runs concurrently from
-// shards: all randomness comes from the (key, call, i) counter stream.
+// -1 and the geometric (ring) candidates stand. A RewireController's
+// directive overrides the β coin (the coin is then not drawn; candidate
+// draws still come from the same per-agent counter stream, so the outcome
+// stays a pure function of (i, call) and the serially-written controller
+// state). It runs concurrently from shards: all randomness comes from the
+// (key, call, i) counter stream.
 func (m *SmallWorld) rewireCandidates(i, n int, call uint64, dst []int32) int {
 	src := prng.AtCounter(m.key, call, uint64(i))
-	if !src.Prob(m.Beta) {
+	mode := RewireDefault
+	if m.ctl != nil {
+		mode = m.ctl.Mode(i, m.pos.At(i))
+	}
+	switch mode {
+	case RewireDeny:
 		return -1
+	case RewireForce:
+	default:
+		if !src.Prob(m.Beta) {
+			return -1
+		}
 	}
 	for k := range dst {
 		j := src.Intn(n - 1)

@@ -93,6 +93,10 @@ type geometry[G any] interface {
 	neighborhood(c int32, buf []int32) []int32
 	// dist2 is the squared distance between two positions in this metric.
 	dist2(a, b population.Point) float64
+	// patch draws a position uniformly within distance r of center under
+	// this geometry (wrapping or reflecting as the topology demands),
+	// consuming src. r ≤ 0 returns center exactly.
+	patch(src *prng.Source, center population.Point, r float64) population.Point
 }
 
 // spatial is the shared state of a spatial matcher: the bound position
@@ -145,12 +149,24 @@ func (s *spatial[G]) bind(pop *population.Population, src *prng.Source, place fu
 	}
 	s.src = src
 	s.probeSrc = src.Split()
-	s.pos = &population.Positions{Place: place, Spawn: spawn}
+	s.pos = &population.Positions{Place: population.PlaceFunc(place), Spawn: spawn}
 	pop.Attach(s.pos)
 }
 
-// Positions exposes the bound position side-array (nil before Bind).
+// Positions implements Space: the bound position side-array (nil before
+// Bind).
 func (s *spatial[G]) Positions() *population.Positions { return s.pos }
+
+// Dist2 implements Space with the geometry's metric. The metric is position-
+// only (bucket resolution does not enter it), so it is valid before the
+// first SampleMatch.
+func (s *spatial[G]) Dist2(a, b population.Point) float64 { return s.geo.dist2(a, b) }
+
+// PatchPoint implements Space: a uniform draw within distance r of center
+// under the geometry, from the caller's stream.
+func (s *spatial[G]) PatchPoint(center population.Point, r float64, src *prng.Source) population.Point {
+	return s.geo.patch(src, center, r)
+}
 
 // SetWorkers implements WorkerSetter: it sets the goroutine count of the
 // sharded pipeline phases. Output is bit-identical for every worker count;

@@ -38,6 +38,7 @@ var (
 	_ Matcher      = (*Torus)(nil)
 	_ Binder       = (*Torus)(nil)
 	_ WorkerSetter = (*Torus)(nil)
+	_ Space        = (*Torus)(nil)
 )
 
 // NewTorus validates sigma and returns an unbound Torus matcher.
@@ -148,3 +149,17 @@ func (g torusGeom) neighborhood(c int32, buf []int32) []int32 {
 }
 
 func (torusGeom) dist2(a, b population.Point) float64 { return TorusDist2(a, b) }
+
+// patch draws uniformly in the disc of radius r around center (area-uniform:
+// ρ = r√u) and wraps onto the torus.
+func (torusGeom) patch(src *prng.Source, center population.Point, r float64) population.Point {
+	if r <= 0 {
+		return center
+	}
+	rho := r * math.Sqrt(src.Float64())
+	theta := 2 * math.Pi * src.Float64()
+	return population.Point{
+		X: wrap(center.X + rho*math.Cos(theta)),
+		Y: wrap(center.Y + rho*math.Sin(theta)),
+	}
+}

@@ -8,9 +8,30 @@ type Point struct {
 	X, Y float64
 }
 
+// Placer chooses the position of a non-daughter agent: the initial
+// population, insertions, and ForceResize padding. The model says "inserted
+// agents appear wherever the adversary chooses"; a matcher's default Placer
+// is oblivious (uniform), and the seam is pluggable so an adversary — or the
+// rogue extension's clustered infiltration — can own placement instead
+// (SetPlacer, QueuePlacement).
+//
+// Place is only ever invoked from the serial phases of a round (apply,
+// adversary turn, construction), so implementations may consume randomness
+// from a non-concurrent stream.
+type Placer interface {
+	// Place returns the position for one newly inserted agent.
+	Place() Point
+}
+
+// PlaceFunc adapts a closure to Placer.
+type PlaceFunc func() Point
+
+// Place implements Placer.
+func (f PlaceFunc) Place() Point { return f() }
+
 // Positions is a per-agent position side-array kept index-aligned with a
 // Population via the Tracker hooks. Spatial matchers (match.Torus) own one
-// and register it with Population.Attach; the placement closures encode the
+// and register it with Population.Attach; the placement seams encode the
 // model's geometry:
 //
 //   - Place positions an agent that did not arise from a split — the initial
@@ -19,16 +40,22 @@ type Point struct {
 //   - Spawn positions a daughter relative to its parent ("daughters of a
 //     split appear next to their parent", cell division).
 //
-// Both closures run only from the serial phases of the round (apply,
+// Both seams run only from the serial phases of the round (apply,
 // adversary turn), so any randomness they consume is deterministic and
 // independent of the engine's worker count.
 type Positions struct {
 	// Place returns a fresh position for a non-daughter agent. Required.
-	Place func() Point
+	// Replaceable at runtime through SetPlacer; one-shot adversary-chosen
+	// positions go through QueuePlacement instead.
+	Place Placer
 	// Spawn places a daughter given its parent's position. Required.
 	Spawn func(parent Point) Point
 
 	pos []Point
+	// queued holds explicit one-shot placements consumed FIFO by the next
+	// insertions, ahead of the Place seam (the engine queues the adversary's
+	// InsertAt positions here, immediately before the matching insert).
+	queued []Point
 }
 
 var _ Tracker = (*Positions)(nil)
@@ -39,24 +66,61 @@ func (ps *Positions) Len() int { return len(ps.pos) }
 // At returns agent i's position.
 func (ps *Positions) At(i int) Point { return ps.pos[i] }
 
+// SetAt overwrites agent i's position. Serial phases only; used to re-place
+// agents whose position was decided after their insertion (the rogue
+// extension's clustered initial cohort).
+func (ps *Positions) SetAt(i int, pt Point) { ps.pos[i] = pt }
+
 // Slice exposes the underlying position array for read access on hot paths
 // (grid bucketing). The slice is invalidated by any structural mutation.
 func (ps *Positions) Slice() []Point { return ps.pos }
+
+// SetPlacer swaps the Place seam and returns the previous Placer, so a
+// caller that takes placement ownership (clustered infiltration) can restore
+// the ambient placement afterwards.
+func (ps *Positions) SetPlacer(p Placer) Placer {
+	old := ps.Place
+	ps.Place = p
+	return old
+}
+
+// QueuePlacement stages an explicit position for the next inserted agent.
+// Queued positions are consumed FIFO, ahead of the Place seam, and must be
+// paired one-to-one with immediately following insertions: a stale queued
+// entry would misplace an unrelated later insert.
+func (ps *Positions) QueuePlacement(pt Point) {
+	ps.queued = append(ps.queued, pt)
+}
+
+// place resolves the next insertion's position: queued placements first,
+// then the pluggable Place seam.
+func (ps *Positions) place() Point {
+	if len(ps.queued) > 0 {
+		pt := ps.queued[0]
+		ps.queued = ps.queued[1:]
+		if len(ps.queued) == 0 {
+			ps.queued = nil
+		}
+		return pt
+	}
+	return ps.Place.Place()
+}
 
 // Attached implements Tracker: every initial agent gets a Place position.
 func (ps *Positions) Attached(n int) {
 	ps.pos = make([]Point, 0, n+n/2)
 	for i := 0; i < n; i++ {
-		ps.pos = append(ps.pos, ps.Place())
+		ps.pos = append(ps.pos, ps.place())
 	}
 }
 
-// Inserted implements Tracker: inserted agents get a Place position.
+// Inserted implements Tracker: inserted agents get a queued position if one
+// is staged, else a Place position.
 func (ps *Positions) Inserted(i int) {
 	if i != len(ps.pos) {
 		panic("population: Positions out of sync with population on insert")
 	}
-	ps.pos = append(ps.pos, ps.Place())
+	ps.pos = append(ps.pos, ps.place())
 }
 
 // DeletedSwap implements Tracker.

@@ -112,6 +112,14 @@ type Overlay struct {
 
 	meta  []meta
 	stats Stats
+
+	// positions and clusterPlace implement clustered infiltration (set by
+	// NewEngine when Config.Cluster is given): every InsertRogue queues a
+	// clusterPlace position on the matcher's side-array instead of taking
+	// the oblivious uniform placement. Both are used only from serial
+	// phases (construction and StartRound).
+	positions    *population.Positions
+	clusterPlace func() population.Point
 }
 
 var (
@@ -159,9 +167,13 @@ func (o *Overlay) Counts() (honest, rogue int) {
 }
 
 // InsertRogue appends a fresh rogue agent (zero protocol state, full
-// replication cooldown) to the population. The overlay must already be
+// replication cooldown) to the population, at the clustered patch position
+// when clustered infiltration is configured. The overlay must already be
 // attached to pop.
 func (o *Overlay) InsertRogue(pop *population.Population) {
+	if o.clusterPlace != nil {
+		o.positions.QueuePlacement(o.clusterPlace())
+	}
 	i := pop.Insert(agent.State{})
 	o.meta[i] = meta{prog: Rogue, cooldown: o.replicateEvery}
 }
@@ -263,6 +275,15 @@ func (o *Overlay) Applied(actions []population.Action) {
 	o.meta = population.ReplayApply(o.meta, actions, func(parent meta) meta { return parent })
 }
 
+// ClusterSpec is the clustered-infiltration patch: rogues appear within
+// Radius of Center instead of at oblivious uniform positions.
+type ClusterSpec struct {
+	// Center is the patch center.
+	Center population.Point
+	// Radius is the patch radius (arc half-length on 1-D topologies).
+	Radius float64
+}
+
 // Config assembles the extended simulation.
 type Config struct {
 	// Params parameterizes the honest protocol.
@@ -286,6 +307,13 @@ type Config struct {
 	// communication model — rogues on the spatial torus compose via
 	// match.NewTorus.
 	Matcher match.Matcher
+	// Cluster, when non-nil, places every rogue insertion — the initial
+	// cohort and the per-epoch infiltration — within Cluster.Radius of
+	// Cluster.Center under the spatial matcher's geometry, through the
+	// population.Positions placement seam: the adversary chooses where its
+	// agents appear. Requires a spatial Matcher (match.Space); the
+	// patch-attack seeding of experiment A9.
+	Cluster *ClusterSpec
 	// Adversary additionally attacks the protocol state every round within
 	// budget K (nil = none): the state-adversary of the base model composed
 	// with the program-adversary of this extension.
@@ -361,8 +389,46 @@ func NewEngine(cfg Config, inner sim.Stepper) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rogue: %w", err)
 	}
+	if cfg.Cluster != nil {
+		if err := installCluster(cfg, overlay); err != nil {
+			return nil, err
+		}
+	}
 	return &Engine{Engine: eng, overlay: overlay}, nil
 }
+
+// installCluster wires clustered infiltration: a private placement stream
+// (domain-separated from the engine's seed, so clustering perturbs no
+// engine randomness), re-placement of the initial cohort — which was
+// inserted before the matcher bound its position side-array and therefore
+// drew oblivious uniform positions — and the patch placer for all future
+// InsertRogue calls.
+func installCluster(cfg Config, overlay *Overlay) error {
+	sp, ok := cfg.Matcher.(match.Space)
+	if !ok {
+		return errors.New("rogue: Cluster requires a spatial Matcher")
+	}
+	if cfg.Cluster.Radius < 0 {
+		return fmt.Errorf("rogue: negative cluster radius %v", cfg.Cluster.Radius)
+	}
+	src := prng.New(cfg.Seed ^ clusterSeedSalt)
+	ps := sp.Positions()
+	spec := *cfg.Cluster
+	overlay.positions = ps
+	overlay.clusterPlace = func() population.Point {
+		return sp.PatchPoint(spec.Center, spec.Radius, src)
+	}
+	for i := range overlay.meta {
+		if overlay.meta[i].prog == Rogue {
+			ps.SetAt(i, overlay.clusterPlace())
+		}
+	}
+	return nil
+}
+
+// clusterSeedSalt domain-separates the cluster placement stream from the
+// engine root stream derived from the same Config.Seed.
+const clusterSeedSalt = 0x9d5c_7a13_c0ff_ee01
 
 // Overlay exposes the extension program (tags, cooldowns, stats).
 func (e *Engine) Overlay() *Overlay { return e.overlay }

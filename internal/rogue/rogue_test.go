@@ -7,6 +7,7 @@ import (
 	"popstab/internal/adversary"
 	"popstab/internal/match"
 	"popstab/internal/params"
+	"popstab/internal/population"
 )
 
 func fastParams(t testing.TB) params.Params {
@@ -392,6 +393,148 @@ func TestRogueOnTorus(t *testing.T) {
 		}
 		if gotStats != wantStats {
 			t.Fatalf("workers=%d: stats diverged: %+v != %+v", w, gotStats, wantStats)
+		}
+	}
+}
+
+// clusterRing builds a clustered-infiltration engine on a fresh ring
+// matcher and returns both.
+func clusterRing(t *testing.T, p params.Params, spec ClusterSpec, initial, perEpoch int, seed uint64) (*Engine, *match.Ring) {
+	t.Helper()
+	ring, err := match.NewRing(1.0 / float64(p.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{
+		Params: p, ReplicateEvery: 3, DetectProb: 1,
+		InitialRogues: initial, RoguesPerEpoch: perEpoch,
+		Matcher: ring, Cluster: &spec, Seed: seed, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ring
+}
+
+// TestClusterPlacesInitialCohort pins the clustered seeding: every initial
+// rogue sits inside the patch even though the cohort was inserted before the
+// matcher bound its position side-array, and the honest population stays
+// uniformly spread (most of it outside a small patch).
+func TestClusterPlacesInitialCohort(t *testing.T) {
+	p := fastParams(t)
+	spec := ClusterSpec{Center: population.Point{X: 0.25}, Radius: 0.01}
+	eng, ring := clusterRing(t, p, spec, 64, 0, 5)
+	pos := ring.Positions()
+	meta := eng.Overlay().meta
+	if pos.Len() != len(meta) {
+		t.Fatalf("positions %d vs meta %d", pos.Len(), len(meta))
+	}
+	inPatch, rogues, honestIn := 0, 0, 0
+	r2 := spec.Radius * spec.Radius
+	for i := range meta {
+		inside := match.RingDist2(pos.At(i), spec.Center) <= r2
+		if meta[i].prog == Rogue {
+			rogues++
+			if inside {
+				inPatch++
+			}
+		} else if inside {
+			honestIn++
+		}
+	}
+	if rogues != 64 || inPatch != 64 {
+		t.Errorf("rogues %d, in patch %d; want all 64 clustered", rogues, inPatch)
+	}
+	// A 0.02-long arc holds ~2% of the 4096 honest agents in expectation.
+	if honestIn > 200 {
+		t.Errorf("%d honest agents inside the tiny patch; placement leaked", honestIn)
+	}
+}
+
+// TestClusterPlacesInfiltration pins the per-epoch path: rogues inserted by
+// StartRound land inside the patch too (via the placement queue, not the
+// oblivious Place seam).
+func TestClusterPlacesInfiltration(t *testing.T) {
+	p := fastParams(t)
+	spec := ClusterSpec{Center: population.Point{X: 0.75}, Radius: 0.02}
+	eng, ring := clusterRing(t, p, spec, 0, 8, 6)
+	eng.RunRound() // round 0 is an epoch boundary: 8 rogues arrive
+	pos := ring.Positions()
+	meta := eng.Overlay().meta
+	r2 := spec.Radius * spec.Radius
+	rogues, inPatch := 0, 0
+	for i := range meta {
+		if meta[i].prog != Rogue {
+			continue
+		}
+		rogues++
+		if match.RingDist2(pos.At(i), spec.Center) <= r2 {
+			inPatch++
+		}
+	}
+	if rogues == 0 || rogues != inPatch {
+		t.Errorf("rogues %d, in patch %d; want all infiltrators clustered", rogues, inPatch)
+	}
+}
+
+// TestClusterValidation rejects clustered infiltration without a spatial
+// matcher and with a negative radius.
+func TestClusterValidation(t *testing.T) {
+	p := fastParams(t)
+	if _, err := New(Config{
+		Params: p, ReplicateEvery: 3, DetectProb: 1, InitialRogues: 4,
+		Cluster: &ClusterSpec{Radius: 0.1},
+	}); err == nil {
+		t.Error("Cluster accepted without a spatial Matcher")
+	}
+	ring, err := match.NewRing(1.0 / float64(p.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{
+		Params: p, ReplicateEvery: 3, DetectProb: 1, InitialRogues: 4,
+		Matcher: ring, Cluster: &ClusterSpec{Radius: -0.1},
+	}); err == nil {
+		t.Error("negative cluster radius accepted")
+	}
+}
+
+// TestClusterDeterministicAcrossWorkers extends the golden determinism
+// guarantee to clustered infiltration: the cluster placement stream is
+// serial and seed-derived, so worker counts cannot perturb it.
+func TestClusterDeterministicAcrossWorkers(t *testing.T) {
+	p := fastParams(t)
+	spec := ClusterSpec{Center: population.Point{X: 0.5}, Radius: 0.02}
+	run := func(workers int) []int {
+		ring, err := match.NewRing(1.0 / float64(p.N))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(Config{
+			Params: p, ReplicateEvery: 2, DetectProb: 1,
+			InitialRogues: 32, RoguesPerEpoch: 4,
+			Matcher: ring, Cluster: &spec, Seed: 9, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Short horizon with a size guard: a shielded rogue patch grows
+		// exponentially, and this test is about determinism, not outcome.
+		var sizes []int
+		for i := 0; i < 32 && eng.Size() < 2*p.N; i++ {
+			eng.RunRound()
+			h, r := eng.Counts()
+			sizes = append(sizes, h, r)
+		}
+		return sizes
+	}
+	want := run(1)
+	for _, w := range []int{2, runtime.NumCPU()} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d diverged at sample %d: %d != %d", w, i, got[i], want[i])
+			}
 		}
 	}
 }

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"popstab/internal/agent"
+	"popstab/internal/population"
+	"popstab/internal/prng"
+	"popstab/internal/wire"
+)
+
+// SelfishReplicator wraps a Stepper with the selfish variant the paper's
+// impossibility discussion gestures at (§1.2): an activated agent ignores
+// the protocol's verdict and replicates at every opportunity — it neither
+// dies nor merely keeps when its post-step state is Active. Messages, state
+// transitions, and coin flips are the inner protocol's own (so the wrapped
+// system is message-compatible with honest agents and the wrapper composes
+// with any topology and adversary); only the fate is overridden.
+//
+// The wrapper makes the whole population selfish, which is the point: it
+// demonstrates that population stability is a cooperative property — with
+// replication unchecked by the variance signal the size escapes the
+// admissible interval within an epoch or two (no rate bound, unlike the
+// rogue extension's ReplicateEvery). Inactive agents still follow the
+// protocol, so early-epoch rounds (before recruitment activates the bulk)
+// behave normally.
+type SelfishReplicator struct {
+	// Inner is the wrapped protocol.
+	Inner Stepper
+}
+
+var _ Stepper = (*SelfishReplicator)(nil)
+
+// NewSelfishReplicator wraps inner with the selfish fate override.
+func NewSelfishReplicator(inner Stepper) *SelfishReplicator {
+	return &SelfishReplicator{Inner: inner}
+}
+
+// EpochLen implements Stepper with the inner protocol's epoch.
+func (sr *SelfishReplicator) EpochLen() int { return sr.Inner.EpochLen() }
+
+// Compose implements Stepper.
+func (sr *SelfishReplicator) Compose(s *agent.State) uint8 { return sr.Inner.Compose(s) }
+
+// Decode implements Stepper.
+func (sr *SelfishReplicator) Decode(b uint8) wire.Message { return sr.Inner.Decode(b) }
+
+// Step implements Stepper: the inner step runs unchanged (state mutation and
+// randomness consumption are identical to the honest protocol), then an
+// agent that ends the round activated splits regardless of the inner
+// verdict.
+func (sr *SelfishReplicator) Step(s *agent.State, nbr wire.Message, hasNbr bool, src *prng.Source) population.Action {
+	act := sr.Inner.Step(s, nbr, hasNbr, src)
+	if s.Active {
+		return population.ActSplit
+	}
+	return act
+}

@@ -194,6 +194,10 @@ type Engine struct {
 	cfg     Config
 	pop     *population.Population
 	matcher match.Matcher
+	// space is the matcher's spatial self-description (nil for non-spatial
+	// matchers): the engine threads it into the adversary's View and Budget
+	// so positions are adversary-visible state, per the model.
+	space   match.Space
 	adv     adversary.Adversary
 	workers int
 
@@ -326,6 +330,13 @@ func buildEngine(cfg Config, pop *population.Population) (*Engine, error) {
 	if b, ok := matcher.(match.Binder); ok {
 		b.Bind(e.pop, bindSrc)
 	}
+	// Spatial matchers expose their positions and metric to the adversary
+	// seam; strategies that act on the communication model itself
+	// (adversary.RewireAdversary) receive the bound matcher. Both are pure
+	// wiring — no randomness is consumed, so position-blind configurations
+	// are bit-identical to the pre-seam engine.
+	e.space, _ = matcher.(match.Space)
+	adversary.BindMatcherTo(e.adv, matcher)
 	return e, nil
 }
 
@@ -368,16 +379,27 @@ func (e *Engine) Census() population.Census {
 }
 
 // adversaryTurn gives the adversary its budgeted turn and applies the staged
-// alterations.
+// alterations. On a spatial topology the Budget is bound to the matcher's
+// positions and metric first, and insertions staged with an explicit
+// position (InsertAt) are routed through the Positions placement queue so
+// the agent appears exactly where the adversary chose. Everything here runs
+// serially, before the matching is sampled, so adversary-chosen placement is
+// deterministic and worker-count-invariant like the rest of the turn.
 func (e *Engine) adversaryTurn(rep *RoundReport) {
 	if e.cfg.K <= 0 {
 		return
 	}
 	budget := adversary.NewBudget(e.cfg.K, e.pop.Len(), e.epochLen)
+	if e.space != nil {
+		budget.BindSpace(e.space.Positions().Slice(), e.space.Dist2)
+	}
 	e.adv.Act(engineView{e}, budget, e.advSrc)
 	rep.AdvDeleted += e.pop.DeleteDescending(budget.Deletions())
-	for _, s := range budget.Inserts() {
-		e.pop.Insert(s)
+	for _, ins := range budget.Inserts() {
+		if ins.Placed && e.space != nil {
+			e.space.Positions().QueuePlacement(ins.At)
+		}
+		e.pop.Insert(ins.State)
 	}
 	rep.AdvInserted += len(budget.Inserts())
 }
@@ -626,4 +648,46 @@ func (v engineView) EpochRound() int {
 func (v engineView) Params() params.Params { return v.e.cfg.Params }
 func (v engineView) Find(dst []int, limit int, pred func(agent.State) bool) []int {
 	return v.e.pop.FindIf(dst, limit, pred)
+}
+
+// The spatial View methods surface the matcher's positions and metric; on a
+// non-spatial matcher they are the Flatland defaults.
+
+func (v engineView) HasSpace() bool { return v.e.space != nil }
+
+func (v engineView) Pos(i int) population.Point {
+	if v.e.space == nil {
+		return population.Point{}
+	}
+	return v.e.space.Positions().At(i)
+}
+
+func (v engineView) Dist2(a, b population.Point) float64 {
+	if v.e.space == nil {
+		return 0
+	}
+	return v.e.space.Dist2(a, b)
+}
+
+func (v engineView) FindNear(dst []int, limit int, center population.Point, r float64) []int {
+	if v.e.space == nil {
+		return dst
+	}
+	r2 := r * r
+	for i, pt := range v.e.space.Positions().Slice() {
+		if limit >= 0 && len(dst) >= limit {
+			break
+		}
+		if v.e.space.Dist2(center, pt) <= r2 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+func (v engineView) PatchPoint(center population.Point, r float64, src *prng.Source) population.Point {
+	if v.e.space == nil {
+		return center
+	}
+	return v.e.space.PatchPoint(center, r, src)
 }

@@ -9,11 +9,14 @@
 //   - the paper's protocol (leader selection → recruitment trees →
 //     variance-encoded evaluation) and its failing baselines (§1.3.1);
 //   - the synchronous γ-matching communication model;
-//   - a library of adversary strategies, budgeted per the model;
+//   - a library of adversary strategies, budgeted per the model — on
+//     spatial topologies the adversary observes positions and controls
+//     placement (the patch family: NewPatchDeleter, NewClusterInserter,
+//     NewRewireDenier, RogueConfig.Cluster);
 //   - the §1.2 extensions (malicious programs, geometric communication,
 //     clock drift), composable with each other and with any adversary
 //     through Config.Topology and Config.Rogue;
-//   - the reproduction experiment suite (E1–E17, A1–A8);
+//   - the reproduction experiment suite (E1–E17, A1–A9);
 //   - one deterministic parallel round engine behind pluggable
 //     communication (Matcher) and program (Stepper) seams: per-agent
 //     counter-based randomness makes simulation output bit-identical
@@ -71,7 +74,22 @@ type (
 	// RogueStats accumulates the malicious-program extension's event counts
 	// (kills, rogue splits, failed detections).
 	RogueStats = rogue.Stats
+	// Point is a position on a spatial topology (only X is meaningful on
+	// the 1-D topologies Ring and SmallWorld).
+	Point = population.Point
 )
+
+// PatchSpec parameterizes the spatial patch-attack family: one ball of the
+// topology — a disc on Torus/Grid, an arc of half-length Radius on
+// Ring/SmallWorld. It drives the patch strategies (NewPatchDeleter,
+// NewClusterInserter, NewRewireDenier) and clustered rogue infiltration
+// (RogueConfig.Cluster).
+type PatchSpec struct {
+	// Center is the ball's center.
+	Center Point
+	// Radius is the ball's radius (arc half-length in 1-D).
+	Radius float64
+}
 
 // ProtocolKind selects which per-agent program a Sim runs.
 type ProtocolKind int
@@ -205,6 +223,11 @@ type RogueConfig struct {
 	// RoguesPerEpoch inserts this many additional rogues at every epoch
 	// boundary.
 	RoguesPerEpoch int
+	// Cluster, when non-nil, places every rogue insertion (initial cohort
+	// and per-epoch infiltration) inside the given patch instead of at
+	// oblivious uniform positions — adversary-chosen placement, the A9
+	// patch-attack seeding. Requires a spatial Topology.
+	Cluster *PatchSpec
 }
 
 // Config assembles a simulation.
@@ -221,6 +244,12 @@ type Config struct {
 	Alpha float64
 	// Protocol selects the per-agent program (default Paper).
 	Protocol ProtocolKind
+	// Selfish wraps the selected protocol in the selfish-replicator
+	// variant: activated agents ignore the protocol's verdict and split at
+	// every opportunity (sim.SelfishReplicator). A negative control for
+	// the stability results — the population escapes the admissible
+	// interval without any adversary budget.
+	Selfish bool
 	// MessageBits selects the wire codec for the paper protocol: 3
 	// (default, Theorem 2's encoding) or 4 (the reference encoding).
 	MessageBits int
@@ -325,6 +354,9 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("popstab: unknown protocol kind %d", int(cfg.Protocol))
 	}
 
+	if cfg.Selfish {
+		stepper = sim.NewSelfishReplicator(stepper)
+	}
 	s.epochLen = stepper.EpochLen()
 
 	adv := cfg.Adversary
@@ -405,12 +437,20 @@ func New(cfg Config) (*Sim, error) {
 	// composes with any topology and adversary) — all wiring delegated to
 	// rogue.NewEngine so the overlay bootstrap lives in one place.
 	if rc := cfg.Rogue; rc != nil {
+		var cluster *rogue.ClusterSpec
+		if rc.Cluster != nil {
+			if cfg.Topology == Mixed {
+				return nil, fmt.Errorf("popstab: RogueConfig.Cluster requires a spatial topology")
+			}
+			cluster = &rogue.ClusterSpec{Center: rc.Cluster.Center, Radius: rc.Cluster.Radius}
+		}
 		re, err := rogue.NewEngine(rogue.Config{
 			Params:         p,
 			ReplicateEvery: rc.ReplicateEvery,
 			DetectProb:     rc.DetectProb,
 			InitialRogues:  rc.InitialRogues,
 			RoguesPerEpoch: rc.RoguesPerEpoch,
+			Cluster:        cluster,
 			Scheduler:      simCfg.Scheduler,
 			Matcher:        simCfg.Matcher,
 			Adversary:      adv,

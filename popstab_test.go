@@ -234,7 +234,7 @@ func TestRecordEpochs(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := popstab.ExperimentIDs()
-	if len(ids) != 25 {
+	if len(ids) != 26 {
 		t.Fatalf("suite has %d experiments: %v", len(ids), ids)
 	}
 	title, claim, err := popstab.ExperimentInfo("E13")
@@ -471,5 +471,80 @@ func TestRogueWithoutExtensionAccessors(t *testing.T) {
 	}
 	if s.RogueStats() != (popstab.RogueStats{}) {
 		t.Errorf("RogueStats without extension = %+v", s.RogueStats())
+	}
+}
+
+// TestSelfishConfig wires Config.Selfish end to end: the selfish variant
+// escapes the admissible interval with no adversary at all, and the flag
+// composes with spatial topologies.
+func TestSelfishConfig(t *testing.T) {
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 31, Selfish: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	escaped := false
+	for i := 0; i < s.EpochLen() && !escaped; i++ {
+		s.RunRound()
+		escaped = !s.InInterval() && s.Size() > 4096
+	}
+	if !escaped {
+		t.Fatalf("selfish run still at %d agents, want escape above the interval", s.Size())
+	}
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 31, Selfish: true, Topology: popstab.Ring, Workers: 1}); err != nil {
+		t.Fatalf("Selfish on Ring: %v", err)
+	}
+}
+
+// TestSpatialAdversaryConfig drives the patch family through the public
+// Config on a ring and checks the spatial names registry.
+func TestSpatialAdversaryConfig(t *testing.T) {
+	spec := popstab.PatchSpec{Center: popstab.Point{X: 0.5}, Radius: 0.05}
+	for _, name := range popstab.SpatialAdversaryNames() {
+		if _, err := popstab.NewSpatialAdversaryByName(name, popstab.Params{}, spec); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := popstab.NewSpatialAdversaryByName("bogus", popstab.Params{}, spec); err == nil {
+		t.Error("unknown spatial adversary accepted")
+	}
+	adv, err := popstab.NewSpatialAdversaryByName("delete-patch", popstab.Params{}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 32, Topology: popstab.Ring,
+		Adversary: adv, K: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.RunRound()
+	if rep.AdvDeleted != 4 {
+		t.Errorf("patch deleter removed %d, want 4", rep.AdvDeleted)
+	}
+}
+
+// TestRogueClusterConfig validates the clustered-infiltration plumbing:
+// spatial topology required, and the clustered run is deterministic in the
+// seed.
+func TestRogueClusterConfig(t *testing.T) {
+	spec := &popstab.PatchSpec{Center: popstab.Point{X: 0.5}, Radius: 0.02}
+	if _, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 33,
+		Rogue: &popstab.RogueConfig{ReplicateEvery: 3, DetectProb: 1, InitialRogues: 8, Cluster: spec},
+	}); err == nil {
+		t.Error("Cluster accepted on the mixed topology")
+	}
+	run := func() (int, int) {
+		s, err := popstab.New(popstab.Config{N: 4096, Tinner: 24, Seed: 33, Topology: popstab.Ring, Workers: 1,
+			Rogue: &popstab.RogueConfig{ReplicateEvery: 3, DetectProb: 1, InitialRogues: 8, Cluster: spec},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunRounds(16)
+		return s.RogueCounts()
+	}
+	h1, r1 := run()
+	h2, r2 := run()
+	if h1 != h2 || r1 != r2 {
+		t.Errorf("clustered rogue run not deterministic: (%d,%d) vs (%d,%d)", h1, r1, h2, r2)
 	}
 }
