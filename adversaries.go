@@ -86,6 +86,16 @@ func NewRewireDenier(spec PatchSpec) Adversary {
 	return adversary.NewRewireDenier(spec.Center, spec.Radius)
 }
 
+// NewRewireForcer drags honest agents' long-range links INTO the patch:
+// every agent's candidate set is rewired each round and drawn from the
+// agents inside the ball, so the whole population proposes to the patch
+// residents instead of only its boundary — the offensive complement of
+// NewRewireDenier's shielding. Costs no alteration budget and works at
+// K = 0; inert on non-SmallWorld topologies.
+func NewRewireForcer(spec PatchSpec) Adversary {
+	return adversary.NewRewireForcer(spec.Center, spec.Radius)
+}
+
 // NewComposite runs several strategies in order against a shared budget.
 func NewComposite(label string, parts ...Adversary) Adversary {
 	return adversary.NewComposite(label, parts...)
@@ -128,6 +138,7 @@ func spatialAdversaryFactories() map[string]func(p Params, spec PatchSpec) Adver
 		"cluster-leader0": func(_ Params, spec PatchSpec) Adversary { return NewClusterInserter(spec, 0) },
 		"cluster-leader1": func(_ Params, spec PatchSpec) Adversary { return NewClusterInserter(spec, 1) },
 		"rewire-deny":     func(_ Params, spec PatchSpec) Adversary { return NewRewireDenier(spec) },
+		"rewire-force":    func(_ Params, spec PatchSpec) Adversary { return NewRewireForcer(spec) },
 		"rewire-deny-all": func(_ Params, spec PatchSpec) Adversary {
 			spec.Radius = -1
 			return NewRewireDenier(spec)

@@ -9,6 +9,7 @@
 //	popbench -scale full -markdown > results.md
 //	popbench -scale quick -json -bench > results.json
 //	popbench -diff BENCH_baseline.json results.json
+//	popbench -refresh-baseline
 //
 // The -json form emits one machine-readable document (schema below) so CI
 // can track the verdict and per-experiment wall time across commits; with
@@ -17,12 +18,16 @@
 // any experiment verdict regression (reproduced in the old document, not in
 // the new) and WARNS when a benchmark's agentsteps/s drops more than 20% —
 // the CI regression gate (BENCH_baseline.json is the committed baseline).
+// The -refresh-baseline form regenerates that committed baseline in one
+// command after a PR intentionally changes verdict rows or throughput.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -78,9 +83,30 @@ func run(args []string) error {
 		asJSON    = fs.Bool("json", false, "emit one machine-readable JSON document")
 		bench     = fs.Bool("bench", false, "also time the simulator throughput workloads (agentsteps/s)")
 		diff      = fs.Bool("diff", false, "compare two -json documents: popbench -diff old.json new.json")
+		refresh   = fs.Bool("refresh-baseline", false, "regenerate the committed CI baseline in one command (forces -scale quick -json -bench, writes to -baseline)")
+		baseline  = fs.String("baseline", "BENCH_baseline.json", "output path for -refresh-baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// One-command baseline refresh: the exact invocation CI diffs against,
+	// written where CI reads it. Use after a PR intentionally changes
+	// verdict rows or throughput (see ROADMAP). The document is staged in
+	// memory and renamed into place only after the whole suite succeeded,
+	// so a mid-suite failure (or a deviating experiment) can never
+	// truncate or corrupt the committed baseline.
+	jsonOut := io.Writer(os.Stdout)
+	var refreshBuf bytes.Buffer
+	if *refresh {
+		if *diff || *list {
+			return fmt.Errorf("-refresh-baseline cannot combine with -diff or -list")
+		}
+		*scaleName = "quick"
+		*asJSON = true
+		*bench = true
+		*markdown = false
+		jsonOut = &refreshBuf
 	}
 
 	if *diff {
@@ -176,13 +202,26 @@ func run(args []string) error {
 	if *asJSON {
 		report.TotalMS = time.Since(suiteStart).Milliseconds()
 		report.Failures = failures
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(jsonOut)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			return err
 		}
 		if failures > 0 {
+			if *refresh {
+				return fmt.Errorf("%d experiment(s) did not reproduce; baseline NOT written", failures)
+			}
 			return fmt.Errorf("%d experiment(s) did not reproduce", failures)
+		}
+		if *refresh {
+			tmp := *baseline + ".tmp"
+			if err := os.WriteFile(tmp, refreshBuf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			if err := os.Rename(tmp, *baseline); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "popbench: wrote %s\n", *baseline)
 		}
 		return nil
 	}

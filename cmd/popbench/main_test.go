@@ -37,6 +37,39 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestRefreshBaseline(t *testing.T) {
+	path := t.TempDir() + "/baseline.json"
+	// -run narrows the suite to keep the test fast; the default (full
+	// suite) is what regenerates the committed baseline.
+	if err := run([]string{"-refresh-baseline", "-baseline", path, "-run", "E13"}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if rep.Scale != "quick" || len(rep.Experiments) != 1 || len(rep.Benchmarks) == 0 {
+		t.Fatalf("baseline document %+v lacks forced quick/json/bench shape", rep)
+	}
+	// The refreshed document must diff cleanly against itself.
+	if err := run([]string{"-diff", path, path}); err != nil {
+		t.Fatalf("fresh baseline does not pass its own gate: %v", err)
+	}
+}
+
+func TestRefreshBaselineFlagConflicts(t *testing.T) {
+	if err := run([]string{"-refresh-baseline", "-diff", "a", "b"}); err == nil {
+		t.Error("accepted -refresh-baseline with -diff")
+	}
+	if err := run([]string{"-refresh-baseline", "-list"}); err == nil {
+		t.Error("accepted -refresh-baseline with -list")
+	}
+}
+
 func TestRunJSON(t *testing.T) {
 	// Capture stdout and validate the machine-readable document parses and
 	// carries the fields perf tracking depends on.

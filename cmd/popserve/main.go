@@ -1,0 +1,88 @@
+// Command popserve runs the simulation-as-a-service server: submit
+// popstab.Spec configurations over HTTP, step/pause/resume the resulting
+// sessions, fetch deterministic snapshots, resume them (here or on another
+// popserve), and stream per-step stats over SSE. Identical submissions
+// dedupe to one underlying run (the canonical-config-hash cache; Workers is
+// excluded from the identity because simulation output is bit-identical
+// across worker counts).
+//
+// Examples:
+//
+//	popserve -addr :8080
+//	curl -s localhost:8080/v1/sessions -d '{"spec":{"n":4096,"tinner":24,"seed":1},"rounds":288}'
+//	curl -s localhost:8080/v1/sessions/s-000001
+//	curl -s localhost:8080/v1/sessions/s-000001/snapshot > snap.json
+//	curl -s localhost:8080/v1/sessions -d "$(jq '{spec,snapshot,rounds:144}' snap.json)"
+//	curl -N localhost:8080/v1/sessions/s-000001/stream
+//	curl -s localhost:8080/v1/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"popstab/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "popserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("popserve", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		maxConcurrent = fs.Int("max-concurrent", runtime.NumCPU(), "sessions stepping simultaneously")
+		maxSessions   = fs.Int("max-sessions", 4096, "session registry bound (completed sessions included)")
+		quantum       = fs.Int("quantum", 64, "rounds per scheduling slice (pause/snapshot latency bound)")
+		workers       = fs.Int("session-workers", 1, "engine worker count per session")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := serve.NewManager(serve.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxSessions:    *maxSessions,
+		StepQuantum:    *quantum,
+		SessionWorkers: *workers,
+	})
+	defer m.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(m),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("popserve listening on %s (pool %d, quantum %d rounds)", *addr, *maxConcurrent, *quantum)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("popserve shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

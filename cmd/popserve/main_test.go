@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFlagError(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunListenError(t *testing.T) {
+	err := run([]string{"-addr", "256.256.256.256:0"})
+	if err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("bad address: err = %v", err)
+	}
+}

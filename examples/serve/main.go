@@ -1,0 +1,180 @@
+// The popserve load smoke: boots the serving stack in-process (real HTTP
+// over a loopback listener), drives many concurrent client sessions to
+// completion, and verifies the result cache deduped identical submissions
+// by the server's own run-count metric. CI runs it as the serve smoke; as a
+// standalone example it doubles as API documentation in motion.
+//
+//	go run ./examples/serve -sessions 64 -distinct 8 -rounds 144
+//
+// With -addr it targets an already-running popserve instead of booting one.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"popstab"
+	"popstab/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serve-smoke", flag.ContinueOnError)
+	var (
+		sessions = fs.Int("sessions", 64, "concurrent client sessions to drive")
+		distinct = fs.Int("distinct", 8, "distinct configurations among them (seeds)")
+		rounds   = fs.Int("rounds", 144, "rounds per session")
+		n        = fs.Int("n", 4096, "population target N")
+		pool     = fs.Int("pool", 0, "server worker-pool bound (0 = NumCPU)")
+		addr     = fs.String("addr", "", "drive an external popserve at this base URL instead of booting in-process")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "overall deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *distinct < 1 || *sessions < *distinct {
+		return fmt.Errorf("need sessions >= distinct >= 1 (got %d, %d)", *sessions, *distinct)
+	}
+
+	base := *addr
+	if base == "" {
+		m := serve.NewManager(serve.Config{MaxConcurrent: *pool, StepQuantum: 48})
+		defer m.Close()
+		ts := httptest.NewServer(serve.NewHandler(m))
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ids      = map[string]int{} // session id -> submissions attached
+		deduped  int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for c := 0; c < *sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			spec := popstab.Spec{N: *n, Tinner: 24, Seed: uint64(c % *distinct)}
+			var sub serve.SubmitResponse
+			if err := post(base, "/v1/sessions", serve.SubmitRequest{Spec: spec, Rounds: uint64(*rounds)}, &sub); err != nil {
+				fail(fmt.Errorf("client %d submit: %w", c, err))
+				return
+			}
+			mu.Lock()
+			ids[sub.ID]++
+			if sub.Deduped {
+				deduped++
+			}
+			mu.Unlock()
+			// Poll to completion.
+			deadline := time.Now().Add(*timeout)
+			for {
+				var info serve.JobInfo
+				if err := get(base, "/v1/sessions/"+sub.ID, &info); err != nil {
+					fail(fmt.Errorf("client %d poll: %w", c, err))
+					return
+				}
+				if info.Status == serve.StatusFailed {
+					fail(fmt.Errorf("client %d: session failed: %s", c, info.Error))
+					return
+				}
+				if info.Status == serve.StatusDone && info.Stats.Round >= uint64(*rounds) {
+					return
+				}
+				if time.Now().After(deadline) {
+					fail(fmt.Errorf("client %d: timeout at %+v", c, info.Stats))
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	var mt serve.Metrics
+	if err := get(base, "/v1/metrics", &mt); err != nil {
+		return err
+	}
+	fmt.Printf("drove %d sessions (%d distinct configs, %d rounds each) in %s\n",
+		*sessions, *distinct, *rounds, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("server metrics: sim_runs=%d dedupe_hits=%d submissions=%d sessions=%d\n",
+		mt.SimRuns, mt.DedupeHits, mt.Submissions, mt.Sessions)
+
+	// The dedupe verdict (only meaningful against a fresh server).
+	if *addr == "" {
+		if len(ids) != *distinct {
+			return fmt.Errorf("FAIL: %d underlying sessions for %d distinct configs", len(ids), *distinct)
+		}
+		if int(mt.SimRuns) != *distinct {
+			return fmt.Errorf("FAIL: run-count metric %d, want %d (cache did not dedupe)", mt.SimRuns, *distinct)
+		}
+		if want := *sessions - *distinct; deduped != want {
+			return fmt.Errorf("FAIL: %d submissions reported deduped, want %d", deduped, want)
+		}
+		fmt.Printf("PASS: result cache deduped %d identical submissions onto %d runs\n", deduped, mt.SimRuns)
+	}
+	return nil
+}
+
+// post sends JSON and decodes the JSON response, treating non-2xx as error.
+func post(base, path string, body, out any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+// get fetches and decodes a JSON response, treating non-2xx as error.
+func get(base, path string, out any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -66,6 +66,12 @@ type View interface {
 	// slice. limit < 0 means unlimited. Without space it returns dst
 	// unchanged.
 	FindNear(dst []int, limit int, center population.Point, r float64) []int
+	// CountNear reports the number of agents within distance r of center
+	// under the topology's metric — the density query adaptive patch
+	// strategies re-center on (an O(n) scan, fine for the computationally
+	// unbounded model adversary). Without space it reports −1, which is
+	// distinguishable from an empty ball.
+	CountNear(center population.Point, r float64) int
 	// PatchPoint draws a position uniformly within distance r of center
 	// under the topology's geometry, consuming src (center itself without
 	// space).
@@ -89,6 +95,9 @@ func (Flatland) Dist2(a, b population.Point) float64 { return 0 }
 func (Flatland) FindNear(dst []int, limit int, center population.Point, r float64) []int {
 	return dst
 }
+
+// CountNear reports −1: there is no geometry to count in.
+func (Flatland) CountNear(center population.Point, r float64) int { return -1 }
 
 // PatchPoint returns center, consuming nothing.
 func (Flatland) PatchPoint(center population.Point, r float64, src *prng.Source) population.Point {

@@ -197,6 +197,12 @@ func (pc *PatchCombo) Act(v View, m Mutator, src *prng.Source) {
 // part of the communication model, which the worst-case adversary of the
 // §1.2 discussion controls, not an insertion or deletion.
 //
+// The force direction additionally supports a target ball (HasTarget):
+// forced agents draw their long-range candidates from the agents inside
+// [TargetCenter, TargetRadius] instead of uniformly — the adversary drags
+// honest agents' links INTO a patch, feeding them to its residents (see
+// match.RewireTargeter and NewRewireForcer).
+//
 // The strategy needs the matcher itself, so it implements MatcherBinder; on
 // a non-SmallWorld matcher it binds to nothing and is inert. Its Act is a
 // no-op (the directive is positional and needs no per-round recomputation),
@@ -211,6 +217,13 @@ type RewireAdversary struct {
 	// Directive is applied to agents inside the region (RewireDeny or
 	// RewireForce); agents outside stay on the β coin.
 	Directive match.RewireMode
+	// TargetCenter and TargetRadius are the ball forced candidates are
+	// drawn from; consulted only when HasTarget is set.
+	TargetCenter population.Point
+	// TargetRadius is the target ball's radius (arc half-length in 1-D).
+	TargetRadius float64
+	// HasTarget enables candidate targeting for the force direction.
+	HasTarget bool
 
 	sw *match.SmallWorld
 }
@@ -219,12 +232,30 @@ var (
 	_ Adversary              = (*RewireAdversary)(nil)
 	_ MatcherBinder          = (*RewireAdversary)(nil)
 	_ match.RewireController = (*RewireAdversary)(nil)
+	_ match.RewireTargeter   = (*RewireAdversary)(nil)
 )
 
 // NewRewireDenier pins agents within r of center to their ring neighborhood
 // (r < 0: the whole population — SmallWorld degenerates to Ring).
 func NewRewireDenier(center population.Point, r float64) *RewireAdversary {
 	return &RewireAdversary{Center: center, Radius: r, Directive: match.RewireDeny}
+}
+
+// NewRewireForcer rewires EVERY agent unconditionally and drags the
+// long-range candidates into the ball of radius r around center: each round
+// the whole population proposes to the patch residents, so a hostile patch
+// (clustered rogues, a monochrome fake-leader colony) meets a steady stream
+// of honest agents instead of only its 1-D boundary. Like the denier it
+// spends no alteration budget and works at K = 0; it is inert off
+// SmallWorld.
+func NewRewireForcer(center population.Point, r float64) *RewireAdversary {
+	return &RewireAdversary{
+		Radius:       -1, // force the whole population's links
+		Directive:    match.RewireForce,
+		TargetCenter: center,
+		TargetRadius: r,
+		HasTarget:    true,
+	}
 }
 
 // Name implements Adversary.
@@ -235,6 +266,9 @@ func (ra *RewireAdversary) Name() string {
 	verb := "force"
 	if ra.Directive == match.RewireDeny {
 		verb = "deny"
+	}
+	if ra.HasTarget {
+		return fmt.Sprintf("rewire-%s-into(r=%.3g)", verb, ra.TargetRadius)
 	}
 	if ra.Radius < 0 {
 		return fmt.Sprintf("rewire-%s-all", verb)
@@ -264,4 +298,10 @@ func (ra *RewireAdversary) Mode(i int, pt population.Point) match.RewireMode {
 		return ra.Directive
 	}
 	return match.RewireDefault
+}
+
+// RewireTarget implements match.RewireTargeter: forced candidates are drawn
+// from the target ball when one is configured.
+func (ra *RewireAdversary) RewireTarget() (population.Point, float64, bool) {
+	return ra.TargetCenter, ra.TargetRadius, ra.HasTarget
 }

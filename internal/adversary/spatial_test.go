@@ -33,6 +33,15 @@ func (f *spatialView) FindNear(dst []int, limit int, center population.Point, r 
 	}
 	return dst
 }
+func (f *spatialView) CountNear(center population.Point, r float64) int {
+	n := 0
+	for _, pt := range f.pos {
+		if match.RingDist2(center, pt) <= r*r {
+			n++
+		}
+	}
+	return n
+}
 func (f *spatialView) PatchPoint(center population.Point, r float64, src *prng.Source) population.Point {
 	x := center.X + (2*src.Float64()-1)*r
 	x = math.Mod(x, 1)

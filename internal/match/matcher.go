@@ -3,6 +3,7 @@ package match
 import (
 	"popstab/internal/population"
 	"popstab/internal/prng"
+	"popstab/internal/wire"
 )
 
 // Matcher is the population-state-aware generalization of Scheduler: it
@@ -59,6 +60,21 @@ type Space interface {
 	// the adversary passes its private stream, so patch sampling never
 	// perturbs the matcher's placement stream.
 	PatchPoint(center population.Point, r float64, src *prng.Source) population.Point
+}
+
+// Stateful is implemented by Matchers that carry mutable per-run state —
+// the spatial chassis's placement/probe streams, sample counters, and
+// position side-array. The engine's snapshot (DESIGN.md §8) captures it so
+// a restored run replays placement and rewiring randomness exactly;
+// stateless matchers (the scheduler adapters) simply don't implement it.
+// Both methods run from serial phases only.
+type Stateful interface {
+	// EncodeState appends the matcher's mutable state to a snapshot.
+	EncodeState(e *wire.Enc)
+	// DecodeState reinstates state captured by EncodeState on a matcher
+	// built from the same configuration and already bound to its
+	// population.
+	DecodeState(d *wire.Dec) error
 }
 
 // FromScheduler adapts a size-only Scheduler into a Matcher. The adaptation

@@ -49,6 +49,13 @@ type SmallWorld struct {
 	key uint64
 	// ctl is the adversary's rewiring override (nil = pure β coin).
 	ctl RewireController
+	// tgt is ctl's optional candidate-targeting facet, cached at install.
+	tgt RewireTargeter
+	// targets is the per-sample list of agents inside the targeter's ball,
+	// rebuilt serially by the prematch hook (ascending index order) and
+	// read concurrently — but never written — by the sharded candidate
+	// phase.
+	targets []int32
 }
 
 // RewireMode is a per-agent rewiring directive from a RewireController.
@@ -79,9 +86,49 @@ type RewireController interface {
 	Mode(i int, pt population.Point) RewireMode
 }
 
+// RewireTargeter is the optional second facet of a RewireController: a
+// controller that also aims the links it forces. When the installed
+// controller implements it and reports a ball, every agent it rewires
+// (RewireForce, or a successful β coin under RewireDefault is NOT affected
+// — only forced agents) draws its long-range candidates uniformly from the
+// agents currently inside the ball instead of from the whole population:
+// the adversary drags links INTO a patch, coupling the population to the
+// patch residents. An empty ball falls back to uniform long-range draws.
+//
+// RewireTarget is consulted once per sample, serially, before the sharded
+// phases; like Mode it must be a pure read of serially-written state.
+type RewireTargeter interface {
+	// RewireTarget reports the target ball; ok false disables targeting.
+	RewireTarget() (center population.Point, r float64, ok bool)
+}
+
 // SetRewireController installs (or, with nil, removes) the adversary's
 // rewiring override. Serial phases only.
-func (m *SmallWorld) SetRewireController(c RewireController) { m.ctl = c }
+func (m *SmallWorld) SetRewireController(c RewireController) {
+	m.ctl = c
+	m.tgt, _ = c.(RewireTargeter)
+}
+
+// buildTargets is the prematch hook: when a targeter reports a ball, it
+// collects the agents inside it in ascending index order. Running serially
+// before the sharded candidate phase makes the list identical for every
+// worker count, so forced-candidate draws stay worker-invariant.
+func (m *SmallWorld) buildTargets(n int) {
+	m.targets = m.targets[:0]
+	if m.tgt == nil {
+		return
+	}
+	center, r, ok := m.tgt.RewireTarget()
+	if !ok || r < 0 {
+		return
+	}
+	r2 := r * r
+	for i, pt := range m.pos.Slice() {
+		if m.geo.dist2(center, pt) <= r2 {
+			m.targets = append(m.targets, int32(i))
+		}
+	}
+}
 
 var (
 	_ Matcher      = (*SmallWorld)(nil)
@@ -112,6 +159,7 @@ func (m *SmallWorld) Bind(pop *population.Population, src *prng.Source) {
 		},
 		m.daughter)
 	m.rewrite = m.rewireCandidates
+	m.prematch = m.buildTargets
 }
 
 // MinFraction reports 0: no hard per-round coverage guarantee.
@@ -147,6 +195,25 @@ func (m *SmallWorld) rewireCandidates(i, n int, call uint64, dst []int32) int {
 	case RewireDeny:
 		return -1
 	case RewireForce:
+		// A forced agent with an installed target ball draws its
+		// candidates from the agents inside it (built serially by the
+		// prematch hook). The ball may contain the agent itself; a
+		// self-draw deterministically takes the next list entry, and a
+		// ball holding only this agent leaves it candidate-less
+		// (unmatched this round).
+		if tl := m.targets; len(tl) > 0 {
+			for k := range dst {
+				t := src.Intn(len(tl))
+				if int(tl[t]) == i {
+					if len(tl) == 1 {
+						return 0
+					}
+					t = (t + 1) % len(tl)
+				}
+				dst[k] = tl[t]
+			}
+			return len(dst)
+		}
 	default:
 		if !src.Prob(m.Beta) {
 			return -1

@@ -1,11 +1,13 @@
 package match
 
 import (
+	"errors"
 	"math"
 	"sync"
 
 	"popstab/internal/population"
 	"popstab/internal/prng"
+	"popstab/internal/wire"
 )
 
 // This file is the shared chassis of every spatial Matcher (Torus, Ring,
@@ -119,6 +121,11 @@ type spatial[G geometry[G]] struct {
 	// must be a pure function of (i, n, call) — per-agent randomness comes
 	// from counter-based streams, never from a shared Source.
 	rewrite func(i, n int, call uint64, dst []int32) int
+	// prematch, when non-nil, runs serially at the top of every sample,
+	// before the sharded phases — the hook SmallWorld uses to precompute
+	// per-round state the concurrent rewrite reads (the rewire-force target
+	// list). It must not consume randomness.
+	prematch func(n int)
 	// calls counts SampleMatch invocations (probe samples count
 	// separately, with probeBit set) — the per-round word of the rewrite
 	// hook's counter streams.
@@ -202,6 +209,54 @@ func (s *spatial[G]) SampleProbe(pop *population.Population, p *Pairing) {
 	s.sample(pop.Len(), s.probeSrc, p, s.probeCalls|probeBit)
 }
 
+// EncodeState implements Stateful: the placement and probe streams, the
+// sample counters keying the rewrite hook's counter streams, and the
+// position side-array (live positions plus any queued placements). The
+// geometry itself and the matcher key are construction-time wiring,
+// re-derived identically when the restored matcher is rebuilt and rebound
+// from the same configuration and seed.
+func (s *spatial[G]) EncodeState(e *wire.Enc) {
+	for _, w := range s.src.State() {
+		e.U64(w)
+	}
+	for _, w := range s.probeSrc.State() {
+		e.U64(w)
+	}
+	e.U64(s.calls)
+	e.U64(s.probeCalls)
+	s.pos.EncodeState(e)
+}
+
+// DecodeState implements Stateful; the matcher must already be bound.
+func (s *spatial[G]) DecodeState(d *wire.Dec) error {
+	if s.pos == nil {
+		return errDecodeUnbound
+	}
+	var st, pst [4]uint64
+	for i := range st {
+		st[i] = d.U64()
+	}
+	for i := range pst {
+		pst[i] = d.U64()
+	}
+	calls := d.U64()
+	probeCalls := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := s.pos.DecodeState(d); err != nil {
+		return err
+	}
+	s.src.SetState(st)
+	s.probeSrc.SetState(pst)
+	s.calls = calls
+	s.probeCalls = probeCalls
+	return nil
+}
+
+// errDecodeUnbound reports DecodeState on an unbound matcher.
+var errDecodeUnbound = errors.New("match: DecodeState before Bind")
+
 // ensure sizes the pipeline buffers for n agents over ncells buckets,
 // growing with 1.5× slack so a steadily growing population does not
 // reallocate every round.
@@ -237,6 +292,9 @@ func (s *spatial[G]) sample(n int, src *prng.Source, p *Pairing, call uint64) {
 	p.Reset(n)
 	if n < 2 {
 		return
+	}
+	if s.prematch != nil {
+		s.prematch(n)
 	}
 	pos := s.pos.Slice()
 	g := s.geo.prepare(n)

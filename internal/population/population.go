@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"popstab/internal/agent"
+	"popstab/internal/wire"
 )
 
 // Action is the per-agent outcome of one protocol step.
@@ -192,6 +193,67 @@ func ReplayApply[T any](arr []T, actions []Action, spawn func(parent T) T) []T {
 		r++
 	}
 	return arr
+}
+
+// EncodeState writes the agent-state array into a snapshot section payload
+// (see internal/wire). Trackers serialize their own side-arrays; the
+// engine's snapshot layout keeps them adjacent so restore re-aligns them.
+func (p *Population) EncodeState(e *wire.Enc) {
+	e.U64(uint64(len(p.states)))
+	for i := range p.states {
+		s := &p.states[i]
+		e.U32(s.Round)
+		e.Bool(s.Active)
+		e.U8(s.Color)
+		e.Bool(s.Recruiting)
+		e.U8(uint8(s.ToRecruit))
+	}
+}
+
+// DecodeState replaces the agent-state array with a snapshot payload
+// written by EncodeState. Trackers are deliberately NOT notified: a restore
+// reinstates every side-array from the same snapshot, so alignment is
+// re-established by construction rather than by replaying mutations. The
+// caller (the engine's Restore) validates that every tracker's restored
+// length matches.
+func (p *Population) DecodeState(d *wire.Dec) error {
+	n := d.Count(8, "agent") // 8 payload bytes per agent record
+	if err := d.Err(); err != nil {
+		return err
+	}
+	states := make([]agent.State, 0, n+n/2)
+	for i := 0; i < n; i++ {
+		s := agent.State{
+			Round:      d.U32(),
+			Active:     d.Bool(),
+			Color:      d.U8(),
+			Recruiting: d.Bool(),
+			ToRecruit:  int8(d.U8()),
+		}
+		states = append(states, s)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.states = states
+	return nil
+}
+
+// CheckAligned verifies that every attached tracker able to report its
+// length (a `Len() int` method) tracks exactly one entry per agent. The
+// restore path calls it after all side-arrays are reinstated from a
+// snapshot: a crafted or mixed-up document whose sections decode cleanly
+// but disagree on the population size must fail here, not as an
+// out-of-range panic mid-round.
+func (p *Population) CheckAligned() error {
+	for _, t := range p.trackers {
+		if s, ok := t.(interface{ Len() int }); ok {
+			if got := s.Len(); got != len(p.states) {
+				return fmt.Errorf("population: tracker %T holds %d entries for %d agents", t, got, len(p.states))
+			}
+		}
+	}
+	return nil
 }
 
 // ForEach invokes fn with each agent's index and a copy of its state.

@@ -1,5 +1,9 @@
 package population
 
+import (
+	"popstab/internal/wire"
+)
+
 // Point is a position on the unit 2-torus. The model's agents are
 // anonymous and unlocated; positions exist only for spatial communication
 // models (paper §1.2, "Alternate communication models") and live in a side-
@@ -104,6 +108,57 @@ func (ps *Positions) place() Point {
 		return pt
 	}
 	return ps.Place.Place()
+}
+
+// EncodeState writes the position side-array — the live positions AND any
+// still-queued one-shot placements — into a snapshot payload. Queued
+// placements are part of the capture because a snapshot may be taken while
+// a placement is staged but its insertion has not happened yet (an external
+// placement owner between rounds); dropping them would misplace the next
+// insert after restore.
+func (ps *Positions) EncodeState(e *wire.Enc) {
+	e.U64(uint64(len(ps.pos)))
+	for _, pt := range ps.pos {
+		e.F64(pt.X)
+		e.F64(pt.Y)
+	}
+	e.U64(uint64(len(ps.queued)))
+	for _, pt := range ps.queued {
+		e.F64(pt.X)
+		e.F64(pt.Y)
+	}
+}
+
+// DecodeState replaces the position array and placement queue with a
+// snapshot payload written by EncodeState. The Place/Spawn seams are left
+// untouched: they are construction-time wiring, re-established by building
+// the matcher from the same configuration before restoring.
+func (ps *Positions) DecodeState(d *wire.Dec) error {
+	readPoints := func(what string) ([]Point, error) {
+		n := d.Count(16, what) // 16 payload bytes per point
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]Point, 0, n+n/2)
+		for i := 0; i < n; i++ {
+			out = append(out, Point{X: d.F64(), Y: d.F64()})
+		}
+		return out, d.Err()
+	}
+	pos, err := readPoints("position")
+	if err != nil {
+		return err
+	}
+	queued, err := readPoints("queued placement")
+	if err != nil {
+		return err
+	}
+	ps.pos = pos
+	ps.queued = queued
+	return nil
 }
 
 // Attached implements Tracker: every initial agent gets a Place position.

@@ -106,6 +106,21 @@ func (src *Source) SeedCounter(key, hi, lo uint64) {
 	}
 }
 
+// State returns the generator's full internal state, for deterministic
+// snapshot/resume (internal/wire): a Source restored with SetState continues
+// the exact output sequence the original would have produced.
+func (src *Source) State() [4]uint64 { return src.s }
+
+// SetState reinstates a state previously captured with State. The all-zero
+// state is invalid for xoshiro256** and is rejected with the same guard
+// constant New uses; callers round-tripping real State values never hit it.
+func (src *Source) SetState(s [4]uint64) {
+	src.s = s
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
 // AtCounter returns the counter-based stream (key, hi, lo) by value; see
 // SeedCounter. Hot paths should keep one Source per worker and reseed it
 // with SeedCounter instead.

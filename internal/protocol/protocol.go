@@ -114,6 +114,33 @@ func MustNew(p params.Params, opts ...Option) *Protocol {
 	return pr
 }
 
+// EncodeState appends the accumulated event counters to a snapshot
+// (internal/sim's StateCodec). The counters are the protocol's only mutable
+// state — the configuration is immutable — so capturing them makes a
+// restored run's observable statistics, not just its trajectory, continue
+// exactly. Serial phases only (no round may be in flight).
+func (pr *Protocol) EncodeState(e *wire.Enc) {
+	c := &pr.stats
+	for _, v := range []uint64{
+		c.Leaders, c.LeadersByColor[0], c.LeadersByColor[1], c.Recruits,
+		c.EvalSplits, c.EvalDeaths, c.ConsistencyDeaths, c.RecruitMisses,
+	} {
+		e.U64(v)
+	}
+}
+
+// DecodeState reinstates counters captured by EncodeState.
+func (pr *Protocol) DecodeState(d *wire.Dec) error {
+	c := &pr.stats
+	for _, p := range []*uint64{
+		&c.Leaders, &c.LeadersByColor[0], &c.LeadersByColor[1], &c.Recruits,
+		&c.EvalSplits, &c.EvalDeaths, &c.ConsistencyDeaths, &c.RecruitMisses,
+	} {
+		*p = d.U64()
+	}
+	return d.Err()
+}
+
 // Params returns the protocol's parameter set.
 func (pr *Protocol) Params() params.Params { return pr.p }
 

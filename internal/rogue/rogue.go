@@ -117,9 +117,13 @@ type Overlay struct {
 	// NewEngine when Config.Cluster is given): every InsertRogue queues a
 	// clusterPlace position on the matcher's side-array instead of taking
 	// the oblivious uniform placement. Both are used only from serial
-	// phases (construction and StartRound).
+	// phases (construction and StartRound). clusterSrc is the private
+	// placement stream clusterPlace consumes, kept addressable so
+	// snapshots can capture and reinstate it.
 	positions    *population.Positions
 	clusterPlace func() population.Point
+	clusterSrc   *prng.Source
+	clusterSpec  *ClusterSpec
 }
 
 var (
@@ -177,6 +181,10 @@ func (o *Overlay) InsertRogue(pop *population.Population) {
 	i := pop.Insert(agent.State{})
 	o.meta[i] = meta{prog: Rogue, cooldown: o.replicateEvery}
 }
+
+// Len reports the side-array's length; population.CheckAligned uses it to
+// validate restored snapshots against the agent count.
+func (o *Overlay) Len() int { return len(o.meta) }
 
 // EpochLen implements sim.ExtendedStepper with the inner program's epoch.
 func (o *Overlay) EpochLen() int { return o.epochLen }
@@ -273,6 +281,90 @@ func (o *Overlay) DeletedSwap(i, last int) {
 // StepAt, so both copies wait a full period).
 func (o *Overlay) Applied(actions []population.Action) {
 	o.meta = population.ReplayApply(o.meta, actions, func(parent meta) meta { return parent })
+}
+
+// EncodeState implements sim.StateCodec: an identity fingerprint (the
+// extension parameters and the inner program's type — two overlays with
+// different replication rates or detection probabilities are different
+// systems and must not exchange snapshots), the program side-array (tags
+// and cooldowns), the accumulated extension counters, the
+// clustered-placement stream when configured, and — by delegation — the
+// inner protocol's state. Serial phases only.
+func (o *Overlay) EncodeState(e *wire.Enc) {
+	e.String(o.fingerprint())
+	e.U64(uint64(len(o.meta)))
+	for i := range o.meta {
+		e.U8(uint8(o.meta[i].prog))
+		e.U32(o.meta[i].cooldown)
+	}
+	e.U64(o.stats.RogueKills)
+	e.U64(o.stats.RogueSplits)
+	e.U64(o.stats.FailedDetections)
+	e.Bool(o.clusterSrc != nil)
+	if o.clusterSrc != nil {
+		for _, w := range o.clusterSrc.State() {
+			e.U64(w)
+		}
+	}
+	if c, ok := o.inner.(sim.StateCodec); ok {
+		c.EncodeState(e)
+	}
+}
+
+// fingerprint renders the overlay's configuration identity for the
+// snapshot check. InitialRogues is deliberately absent: it shapes only the
+// construction-time state, which the snapshot overwrites wholesale.
+func (o *Overlay) fingerprint() string {
+	cluster := "none"
+	if o.clusterSpec != nil {
+		cluster = fmt.Sprintf("(%g,%g,r=%g)", o.clusterSpec.Center.X, o.clusterSpec.Center.Y, o.clusterSpec.Radius)
+	}
+	return fmt.Sprintf("rogue(R=%d,detect=%g,perEpoch=%d,cluster=%s,inner=%T)",
+		o.replicateEvery, o.detectProb, o.roguesPerEpoch, cluster, o.inner)
+}
+
+// DecodeState implements sim.StateCodec on an overlay built from the same
+// configuration.
+func (o *Overlay) DecodeState(d *wire.Dec) error {
+	if fp := d.String(); d.Err() == nil && fp != o.fingerprint() {
+		return fmt.Errorf("rogue: snapshot overlay %q, engine has %q", fp, o.fingerprint())
+	}
+	n := d.Count(5, "rogue meta") // 5 payload bytes per meta record
+	if err := d.Err(); err != nil {
+		return err
+	}
+	metas := make([]meta, 0, n+n/2)
+	for i := 0; i < n; i++ {
+		metas = append(metas, meta{prog: Program(d.U8()), cooldown: d.U32()})
+	}
+	stats := Stats{
+		RogueKills:       d.U64(),
+		RogueSplits:      d.U64(),
+		FailedDetections: d.U64(),
+	}
+	clustered := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if clustered != (o.clusterSrc != nil) {
+		return fmt.Errorf("rogue: snapshot clustering (%v) does not match configuration", clustered)
+	}
+	if clustered {
+		var st [4]uint64
+		for i := range st {
+			st[i] = d.U64()
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		o.clusterSrc.SetState(st)
+	}
+	o.meta = metas
+	o.stats = stats
+	if c, ok := o.inner.(sim.StateCodec); ok {
+		return c.DecodeState(d)
+	}
+	return nil
 }
 
 // ClusterSpec is the clustered-infiltration patch: rogues appear within
@@ -415,6 +507,8 @@ func installCluster(cfg Config, overlay *Overlay) error {
 	ps := sp.Positions()
 	spec := *cfg.Cluster
 	overlay.positions = ps
+	overlay.clusterSrc = src
+	overlay.clusterSpec = &spec
 	overlay.clusterPlace = func() population.Point {
 		return sp.PatchPoint(spec.Center, spec.Radius, src)
 	}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"popstab"
+)
+
+// HTTP surface of the manager. Snapshot bytes travel base64-encoded inside
+// JSON (encoding/json's []byte convention), so the whole API is
+// curl-friendly:
+//
+//	POST /v1/sessions                   {"spec": {...}, "rounds": N}       submit (deduped)
+//	POST /v1/sessions                   {"spec", "snapshot", "rounds"}     restore + continue
+//	GET  /v1/sessions                                                      list
+//	GET  /v1/sessions/{id}                                                 status + stats
+//	POST /v1/sessions/{id}/step         {"rounds": N}                      advance
+//	POST /v1/sessions/{id}/pause                                           park
+//	POST /v1/sessions/{id}/resume                                          unpark
+//	GET  /v1/sessions/{id}/snapshot                                        spec + snapshot bytes
+//	GET  /v1/sessions/{id}/stream                                          SSE stats feed
+//	GET  /v1/healthz                                                       liveness
+//	GET  /v1/metrics                                                       run/dedupe counters
+
+// SubmitRequest is the POST /v1/sessions body.
+type SubmitRequest struct {
+	// Spec describes the simulation (see popstab.Spec).
+	Spec popstab.Spec `json:"spec"`
+	// Rounds is the run target; 0 opens an idle session for manual
+	// stepping.
+	Rounds uint64 `json:"rounds"`
+	// Snapshot, when present, restores a previously fetched snapshot
+	// under Spec instead of starting fresh (base64 in JSON).
+	Snapshot []byte `json:"snapshot,omitempty"`
+}
+
+// SubmitResponse answers a submission.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Deduped reports that an identical submission was already known and
+	// the caller attached to its job.
+	Deduped bool    `json:"deduped"`
+	Info    JobInfo `json:"info"`
+}
+
+// StepRequest is the POST step body.
+type StepRequest struct {
+	Rounds uint64 `json:"rounds"`
+}
+
+// SnapshotResponse carries a restorable checkpoint.
+type SnapshotResponse struct {
+	ID   string       `json:"id"`
+	Spec popstab.Spec `json:"spec"`
+	// Snapshot is the opaque session state (base64 in JSON); POST it back
+	// with the same spec to resume, here or on another popserve.
+	Snapshot []byte `json:"snapshot"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes m over HTTP.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		var (
+			j       *Job
+			deduped bool
+			err     error
+		)
+		if len(req.Snapshot) > 0 {
+			j, err = m.Restore(req.Spec, req.Snapshot, req.Rounds)
+		} else {
+			j, deduped, err = m.Submit(req.Spec, req.Rounds)
+		}
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: j.ID(), Deduped: deduped, Info: j.Info()})
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, j.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/step", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
+		var req StepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if err := j.Step(req.Rounds); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/pause", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
+		if err := j.Pause(); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Info())
+	}))
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
+		if err := j.Resume(); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Info())
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
+		spec, blob, err := j.Snapshot()
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{ID: j.ID(), Spec: spec, Snapshot: blob})
+	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", withJob(m, streamHandler))
+	return mux
+}
+
+// withJob resolves the {id} path value.
+func withJob(m *Manager, fn func(*Job, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+			return
+		}
+		fn(j, w, r)
+	}
+}
+
+// streamHandler serves the SSE stats feed: one "stats" event per completed
+// step quantum (lossy under backpressure), a "done" event at completion,
+// then the stream ends. Reconnecting clients just resubscribe — the feed
+// is progress, not history.
+func streamHandler(j *Job, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := j.Subscribe(16)
+	defer cancel()
+
+	// Initial event so the client has the current state immediately.
+	info := j.Info()
+	writeEvent(w, "stats", info.Stats)
+	fl.Flush()
+	if info.Status == StatusDone || info.Status == StatusFailed {
+		writeEvent(w, "done", info)
+		fl.Flush()
+		return
+	}
+
+	// Job.Done() fires only on the FIRST completion; a job revived by a
+	// manual step has it permanently closed while actively running, so in
+	// that case completion is detected from the status after each event
+	// instead (the final stats publish and the done transition happen in
+	// one critical section, so the last event always arrives).
+	done := j.Done()
+	select {
+	case <-done:
+		done = nil // revived: the channel would fire instantly forever
+	default:
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+			writeEvent(w, "done", j.Info())
+			fl.Flush()
+			return
+		case stats, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeEvent(w, "stats", stats)
+			fl.Flush()
+			if info := j.Info(); info.Status == StatusDone || info.Status == StatusFailed {
+				writeEvent(w, "done", info)
+				fl.Flush()
+				return
+			}
+		}
+	}
+}
+
+// writeEvent emits one SSE event.
+func writeEvent(w http.ResponseWriter, event string, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
+}
+
+// writeJSON writes a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,559 @@
+// Package serve is the simulation-as-a-service layer: a job manager that
+// multiplexes many steppable popstab.Sessions over a bounded worker pool,
+// dedupes identical submissions through a canonical-config-hash cache, and
+// streams per-step stats to subscribers. cmd/popserve exposes it over HTTP
+// (submit / step / pause / resume / snapshot / SSE stream); the package
+// itself is transport-agnostic so tests and examples drive it in-process.
+//
+// # Execution model
+//
+// Every job owns one goroutine (its runner) and one popstab.Session. The
+// runner advances the session in quanta of Config.StepQuantum rounds; to
+// run a quantum it first acquires a slot from the manager's bounded pool,
+// so at most Config.MaxConcurrent sessions consume CPU at once while any
+// number are open, paused, or parked between quanta — the inversion that
+// turns the fire-and-forget round loop into a service. Between quanta the
+// runner re-reads its control state, so pause, added step budget, and
+// shutdown all take effect with at most one quantum of latency, and a
+// snapshot can be cut at a true between-rounds boundary.
+//
+// # Dedupe
+//
+// Submissions are identified by (popstab.Spec.Hash, target rounds). The
+// hash canonicalizes defaults and EXCLUDES Workers — simulation output is
+// bit-identical across worker counts — so two users submitting the same
+// experiment share one run and one result: the second submission attaches
+// to the first job whatever state it is in. Metrics.SimRuns counts actual
+// engine runs and Metrics.DedupeHits the submissions served without one;
+// the load smoke (examples/serve) asserts on exactly these. Restored
+// sessions (snapshot resumes) never join the cache: their state is not a
+// pure function of the spec.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"popstab"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// MaxConcurrent bounds how many sessions step simultaneously
+	// (0 = runtime.NumCPU()).
+	MaxConcurrent int
+	// MaxSessions bounds the registry; submissions beyond it fail
+	// (0 = 4096). Completed jobs count — they are the result cache.
+	MaxSessions int
+	// StepQuantum is the number of rounds a runner advances per pool slot
+	// (0 = 64): the latency bound on pause/snapshot/shutdown.
+	StepQuantum int
+	// SessionWorkers is the engine worker count per session (0 = 1; the
+	// pool provides cross-session parallelism, so intra-session sharding
+	// is usually left off).
+	SessionWorkers int
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.NumCPU()
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.StepQuantum <= 0 {
+		c.StepQuantum = 64
+	}
+	if c.SessionWorkers <= 0 {
+		c.SessionWorkers = 1
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job statuses. A done job revives to running if more rounds are requested
+// (manual stepping past the original target).
+const (
+	// StatusQueued: submitted, session not yet built or waiting for its
+	// first pool slot.
+	StatusQueued Status = "queued"
+	// StatusRunning: the runner holds (or is acquiring) a pool slot.
+	StatusRunning Status = "running"
+	// StatusPaused: parked by request; Resume or Step continues it.
+	StatusPaused Status = "paused"
+	// StatusDone: the requested rounds have run to completion.
+	StatusDone Status = "done"
+	// StatusFailed: the session could not be built or restored.
+	StatusFailed Status = "failed"
+)
+
+// Metrics is a point-in-time snapshot of the manager's counters.
+type Metrics struct {
+	// Submissions counts every Submit and Restore call accepted.
+	Submissions uint64 `json:"submissions"`
+	// SimRuns counts jobs whose engine was actually built and run
+	// (dedupe misses plus restores; failed builds excluded): the number
+	// the result cache is measured against.
+	SimRuns uint64 `json:"sim_runs"`
+	// DedupeHits counts submissions answered by an existing job.
+	DedupeHits uint64 `json:"dedupe_hits"`
+	// Completed and Failed count terminal transitions.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	// Sessions is the registry size; ActiveRunners the jobs currently
+	// holding or awaiting a pool slot.
+	Sessions      int `json:"sessions"`
+	ActiveRunners int `json:"active_runners"`
+}
+
+// JobInfo is the JSON view of one job.
+type JobInfo struct {
+	ID           string               `json:"id"`
+	Status       Status               `json:"status"`
+	Spec         popstab.Spec         `json:"spec"`
+	TargetRounds uint64               `json:"target_rounds"`
+	Restored     bool                 `json:"restored,omitempty"`
+	Stats        popstab.SessionStats `json:"stats"`
+	Error        string               `json:"error,omitempty"`
+}
+
+// Manager multiplexes sessions; create with NewManager. Safe for
+// concurrent use.
+type Manager struct {
+	cfg   Config
+	slots chan struct{}
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	byKey  map[string]*Job // dedupe cache: spec hash + target → job
+	nextID uint64
+	closed bool
+
+	submissions, simRuns, dedupeHits atomic.Uint64
+	completed, failed                atomic.Uint64
+	active                           atomic.Int64
+}
+
+// NewManager builds a manager with cfg's pool bounds.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		jobs:  make(map[string]*Job),
+		byKey: make(map[string]*Job),
+	}
+}
+
+// Job is one managed session. All fields behind mu; the runner goroutine
+// and the transport handlers synchronize only through it.
+type Job struct {
+	m *Manager
+
+	// Immutable after creation.
+	id       string
+	spec     popstab.Spec
+	key      string // dedupe key; empty for restored jobs
+	snapshot []byte // restore source; nil for fresh jobs
+	target   uint64 // total rounds requested so far
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sess    *popstab.Session
+	status  Status
+	err     error
+	stats   popstab.SessionStats
+	pending uint64 // rounds not yet run
+	paused  bool
+	subs    map[uint64]chan popstab.SessionStats
+	nextSub uint64
+
+	// done is closed on the FIRST arrival at StatusDone (or StatusFailed)
+	// and stays closed: the completion signal batch clients wait on.
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// evict removes the job from the dedupe cache so future identical
+// submissions start a fresh run (no-op for restored jobs, which were never
+// cached). j.key is immutable and j.mu is NOT held here, so the only
+// nested lock order in the package remains j.mu → m.mu (isClosed).
+func (j *Job) evict() {
+	if j.key == "" {
+		return
+	}
+	j.m.mu.Lock()
+	if j.m.byKey[j.key] == j {
+		delete(j.m.byKey, j.key)
+	}
+	j.m.mu.Unlock()
+}
+
+// jobKey is the dedupe identity of a fresh submission.
+func jobKey(hash string, rounds uint64) string {
+	return fmt.Sprintf("%s/%d", hash, rounds)
+}
+
+// Submit registers (or dedupes) a job that runs spec for rounds rounds.
+// rounds = 0 opens an idle session for manual stepping. The returned bool
+// reports a dedupe hit: the job was already running or complete and the
+// caller attached to it.
+func (m *Manager) Submit(spec popstab.Spec, rounds uint64) (*Job, bool, error) {
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, false, err
+	}
+	key := jobKey(hash, rounds)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, errors.New("serve: manager closed")
+	}
+	if j, ok := m.byKey[key]; ok {
+		m.submissions.Add(1)
+		m.dedupeHits.Add(1)
+		return j, true, nil
+	}
+	j, err := m.newJobLocked(spec, rounds, nil, key)
+	if err != nil {
+		return nil, false, err
+	}
+	m.byKey[key] = j
+	return j, false, nil
+}
+
+// Restore registers a job that resumes the given session snapshot under
+// spec and then runs rounds more rounds. Restored jobs bypass the dedupe
+// cache (their state is not derivable from the spec alone).
+func (m *Manager) Restore(spec popstab.Spec, snapshot []byte, rounds uint64) (*Job, error) {
+	if len(snapshot) == 0 {
+		return nil, errors.New("serve: empty snapshot")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("serve: manager closed")
+	}
+	return m.newJobLocked(spec, rounds, snapshot, "")
+}
+
+// newJobLocked allocates, registers, and starts a job. Caller holds m.mu.
+func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte, key string) (*Job, error) {
+	if len(m.jobs) >= m.cfg.MaxSessions {
+		return nil, fmt.Errorf("serve: session limit %d reached", m.cfg.MaxSessions)
+	}
+	// Sessions inherit the manager's worker setting unless the spec pins
+	// its own; either way the trajectory is identical.
+	if spec.Workers == 0 {
+		spec.Workers = m.cfg.SessionWorkers
+	}
+	m.nextID++
+	j := &Job{
+		m:        m,
+		id:       fmt.Sprintf("s-%06d", m.nextID),
+		spec:     spec,
+		key:      key,
+		snapshot: snapshot,
+		target:   rounds,
+		status:   StatusQueued,
+		pending:  rounds,
+		subs:     make(map[uint64]chan popstab.SessionStats),
+		done:     make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	m.jobs[j.id] = j
+	m.submissions.Add(1)
+	go j.run()
+	return j, nil
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every job's info, ordered by ID.
+func (m *Manager) List() []JobInfo {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Info())
+	}
+	// Insertion sort by id; registries are small and ids are ordered.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Metrics snapshots the counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	sessions := len(m.jobs)
+	m.mu.Unlock()
+	return Metrics{
+		Submissions:   m.submissions.Load(),
+		SimRuns:       m.simRuns.Load(),
+		DedupeHits:    m.dedupeHits.Load(),
+		Completed:     m.completed.Load(),
+		Failed:        m.failed.Load(),
+		Sessions:      sessions,
+		ActiveRunners: int(m.active.Load()),
+	}
+}
+
+// Close stops accepting submissions and wakes every runner to exit. Jobs
+// park where they are; in-flight quanta finish.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
+}
+
+// run is the job's runner goroutine: build (or restore) the session, then
+// alternate between waiting for work and stepping one quantum under a pool
+// slot.
+func (j *Job) run() {
+	var (
+		sess *popstab.Session
+		err  error
+	)
+	if j.snapshot != nil {
+		sess, err = popstab.RestoreSessionFromSpec(j.spec, j.snapshot)
+	} else {
+		sess, err = popstab.NewSessionFromSpec(j.spec)
+	}
+	j.mu.Lock()
+	if err != nil {
+		j.failLocked(err)
+		j.mu.Unlock()
+		// A failed build must not keep answering for its (hash, rounds)
+		// identity: evict so a retry runs instead of deduping onto the
+		// corpse.
+		j.evict()
+		return
+	}
+	// Counted here, after the constructor succeeded: SimRuns is "engines
+	// actually run", so failed builds and corrupt restores don't inflate
+	// the metric the dedupe verdict is measured against.
+	j.m.simRuns.Add(1)
+	j.sess = sess
+	j.stats = sess.Stats()
+	j.snapshot = nil // the restore source is consumed; don't hold the bytes
+	j.mu.Unlock()
+
+	for {
+		j.mu.Lock()
+		for j.pending == 0 || j.paused {
+			if j.m.isClosed() {
+				j.mu.Unlock()
+				return
+			}
+			if j.pending == 0 {
+				j.finishLocked()
+			} else {
+				j.status = StatusPaused
+			}
+			j.cond.Wait()
+		}
+		if j.m.isClosed() {
+			j.mu.Unlock()
+			return
+		}
+		n := uint64(j.m.cfg.StepQuantum)
+		if n > j.pending {
+			n = j.pending
+		}
+		j.status = StatusRunning
+		j.mu.Unlock()
+
+		// Acquire the pool slot outside the job lock so control calls
+		// (pause, snapshot of the pre-quantum state) stay responsive
+		// while the pool is saturated.
+		j.m.active.Add(1)
+		j.m.slots <- struct{}{}
+
+		j.mu.Lock()
+		stats := j.sess.Step(int(n))
+		j.pending -= n
+		j.stats = stats
+		j.publishLocked(stats)
+		if j.pending == 0 && !j.paused {
+			j.finishLocked()
+		}
+		j.mu.Unlock()
+
+		<-j.m.slots
+		j.m.active.Add(-1)
+	}
+}
+
+// isClosed reports manager shutdown.
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// finishLocked marks the job done (idempotent) and signals completion.
+func (j *Job) finishLocked() {
+	if j.status != StatusDone {
+		j.status = StatusDone
+		j.m.completed.Add(1)
+	}
+	j.doneOnce.Do(func() { close(j.done) })
+}
+
+// failLocked marks the job failed and signals completion.
+func (j *Job) failLocked(err error) {
+	j.status = StatusFailed
+	j.err = err
+	j.m.failed.Add(1)
+	j.doneOnce.Do(func() { close(j.done) })
+}
+
+// publishLocked fans stats out to subscribers, dropping events a slow
+// subscriber has no buffer for (streams are a lossy progress feed; the
+// authoritative state is Info).
+func (j *Job) publishLocked(stats popstab.SessionStats) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- stats:
+		default:
+		}
+	}
+}
+
+// ID returns the job's registry ID.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job first completes or fails.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Info snapshots the job's state.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:           j.id,
+		Status:       j.status,
+		Spec:         j.spec,
+		TargetRounds: j.target,
+		Restored:     j.key == "",
+		Stats:        j.stats,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// Step requests n more rounds (reviving a done job) and wakes the runner.
+// Stepping mutates the job past the (hash, rounds) identity it was
+// submitted under, so it is first evicted from the dedupe cache: future
+// identical submissions must get a fresh run, not this job's moved-on
+// state.
+func (j *Job) Step(n uint64) error {
+	if n == 0 {
+		return errors.New("serve: step of 0 rounds")
+	}
+	j.evict()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusFailed {
+		return fmt.Errorf("serve: session failed: %w", j.err)
+	}
+	j.target += n
+	j.pending += n
+	if j.status == StatusDone {
+		j.status = StatusQueued
+	}
+	j.cond.Broadcast()
+	return nil
+}
+
+// Pause parks the job after at most one quantum.
+func (j *Job) Pause() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusFailed {
+		return fmt.Errorf("serve: session failed: %w", j.err)
+	}
+	j.paused = true
+	return nil
+}
+
+// Resume unparks a paused job.
+func (j *Job) Resume() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusFailed {
+		return fmt.Errorf("serve: session failed: %w", j.err)
+	}
+	j.paused = false
+	j.cond.Broadcast()
+	return nil
+}
+
+// Snapshot serializes the session at a between-rounds boundary (it waits
+// for any in-flight quantum) along with the spec needed to restore it.
+func (j *Job) Snapshot() (popstab.Spec, []byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusFailed {
+		return popstab.Spec{}, nil, fmt.Errorf("serve: session failed: %w", j.err)
+	}
+	if j.sess == nil {
+		return popstab.Spec{}, nil, errors.New("serve: session still initializing")
+	}
+	return j.spec, j.sess.Snapshot(), nil
+}
+
+// Subscribe registers a stats feed with the given buffer (≥ 1) and returns
+// it with an unsubscribe func. The channel receives one event per completed
+// quantum, lossily; it is closed by unsubscribe, never by the publisher.
+func (j *Job) Subscribe(buffer int) (<-chan popstab.SessionStats, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan popstab.SessionStats, buffer)
+	j.mu.Lock()
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"popstab"
+)
+
+// quickSpec is a small, fast simulation: N=4096 (the model minimum) with
+// the short subphase the experiment suite uses.
+func quickSpec(seed uint64) popstab.Spec {
+	return popstab.Spec{N: 4096, Tinner: 24, Seed: seed}
+}
+
+// waitDone blocks until the job completes or the test times out.
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not complete: %+v", j.ID(), j.Info())
+	}
+}
+
+func TestManagerRunsToCompletion(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 32})
+	defer m.Close()
+	j, deduped, err := m.Submit(quickSpec(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped {
+		t.Fatal("first submission reported deduped")
+	}
+	waitDone(t, j)
+	info := j.Info()
+	if info.Status != StatusDone {
+		t.Fatalf("status %s (err %q), want done", info.Status, info.Error)
+	}
+	if info.Stats.Round != 100 {
+		t.Fatalf("ran %d rounds, want 100", info.Stats.Round)
+	}
+	if info.Stats.Size == 0 {
+		t.Fatal("empty population after run")
+	}
+}
+
+func TestManagerDedupe(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2})
+	defer m.Close()
+	a, _, err := m.Submit(quickSpec(2), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical spec, different Workers: same simulation, must dedupe.
+	spec := quickSpec(2)
+	spec.Workers = 4
+	b, deduped, err := m.Submit(spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || b.ID() != a.ID() {
+		t.Fatalf("identical submission not deduped (a=%s b=%s deduped=%v)", a.ID(), b.ID(), deduped)
+	}
+	// Different target rounds: a different job.
+	c, deduped, err := m.Submit(quickSpec(2), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || c.ID() == a.ID() {
+		t.Fatal("different round target wrongly deduped")
+	}
+	// A completed job keeps serving as the result cache.
+	waitDone(t, a)
+	d, deduped, err := m.Submit(quickSpec(2), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || d.ID() != a.ID() {
+		t.Fatal("completed job not served from the cache")
+	}
+	mt := m.Metrics()
+	if mt.SimRuns != 2 || mt.DedupeHits != 2 || mt.Submissions != 4 {
+		t.Fatalf("metrics %+v, want 2 runs / 2 hits / 4 submissions", mt)
+	}
+}
+
+func TestManagerPauseResumeStep(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, StepQuantum: 16})
+	defer m.Close()
+	j, _, err := m.Submit(quickSpec(3), 0) // idle session, manual stepping
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j) // target 0 is immediately reached
+	if err := j.Step(48); err != nil {
+		t.Fatal(err)
+	}
+	if !eventually(func() bool { return j.Info().Stats.Round == 48 }) {
+		t.Fatalf("manual step did not advance: %+v", j.Info())
+	}
+	if err := j.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Step(16); err != nil {
+		t.Fatal(err)
+	}
+	// Paused: the added budget must not run.
+	time.Sleep(50 * time.Millisecond)
+	if got := j.Info().Stats.Round; got != 48 {
+		t.Fatalf("paused session advanced to round %d", got)
+	}
+	if err := j.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if !eventually(func() bool { return j.Info().Stats.Round == 64 }) {
+		t.Fatalf("resume did not drain the pending rounds: %+v", j.Info())
+	}
+}
+
+// eventually polls cond for up to 30s.
+func eventually(cond func() bool) bool {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+// TestStepEvictsDedupeEntry pins the revival contract: manually stepping a
+// job past its submitted target removes it from the dedupe cache, so a
+// later identical submission gets a FRESH run instead of the moved-on
+// state.
+func TestStepEvictsDedupeEntry(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 16})
+	defer m.Close()
+	a, _, err := m.Submit(quickSpec(30), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, a)
+	if err := a.Step(16); err != nil { // a now diverges from (hash, 32)
+		t.Fatal(err)
+	}
+	b, deduped, err := m.Submit(quickSpec(30), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || b.ID() == a.ID() {
+		t.Fatalf("submission after revival deduped onto the mutated job (a=%s b=%s)", a.ID(), b.ID())
+	}
+	waitDone(t, b)
+	if got := b.Info().Stats.Round; got != 32 {
+		t.Fatalf("fresh run finished at round %d, want 32", got)
+	}
+}
+
+// TestFailedBuildNotCountedOrCached pins two metrics/cache properties: a
+// submission whose constructor fails is not counted as a sim run, and its
+// dedupe entry is evicted so a retry is not answered by the corpse forever.
+func TestFailedBuildNotCountedOrCached(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	// Hashes fine (registry names resolve) but the constructor rejects it:
+	// DaughterSpread requires a spatial topology.
+	bad := popstab.Spec{N: 4096, Tinner: 24, Seed: 31, DaughterSpread: 2}
+	j, _, err := m.Submit(bad, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.Info().Status != StatusFailed {
+		t.Fatalf("status %s, want failed", j.Info().Status)
+	}
+	if runs := m.Metrics().SimRuns; runs != 0 {
+		t.Errorf("failed build counted as %d sim runs", runs)
+	}
+	// The retry must be a fresh job, not the failed one.
+	j2, deduped, err := m.Submit(bad, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || j2.ID() == j.ID() {
+		t.Error("retry deduped onto the failed job")
+	}
+}
+
+// TestManagerConcurrentSessions drives many concurrent submissions of a
+// few distinct configs through a small pool and checks every session
+// completes while the cache dedupes the repeats — the in-process form of
+// the load smoke (examples/serve drives the same thing over HTTP).
+func TestManagerConcurrentSessions(t *testing.T) {
+	const (
+		distinct = 8
+		clients  = 64
+		rounds   = 72
+	)
+	m := NewManager(Config{MaxConcurrent: 4, StepQuantum: 24})
+	defer m.Close()
+	var wg sync.WaitGroup
+	jobs := make([]*Job, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			j, _, err := m.Submit(quickSpec(uint64(c%distinct)), rounds)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			jobs[c] = j
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+		if info := j.Info(); info.Status != StatusDone || info.Stats.Round != rounds {
+			t.Fatalf("job %s finished %+v", j.ID(), info)
+		}
+	}
+	mt := m.Metrics()
+	if mt.SimRuns != distinct {
+		t.Errorf("ran %d simulations for %d distinct configs", mt.SimRuns, distinct)
+	}
+	if mt.DedupeHits != clients-distinct {
+		t.Errorf("dedupe hits %d, want %d", mt.DedupeHits, clients-distinct)
+	}
+}
+
+// --- HTTP round-trip -----------------------------------------------------
+
+// post sends a JSON body and decodes a JSON response.
+func post(t *testing.T, ts *httptest.Server, path string, body, out any) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// get fetches and decodes a JSON response.
+func get(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// TestHTTPSubmitStepSnapshotResume is the boot-and-probe smoke CI runs: a
+// full client round-trip — submit, run, pause, snapshot over the wire,
+// resume the snapshot as a NEW session, and verify the resumed session's
+// continuation matches a straight run bit-for-bit (stats equality at the
+// final round).
+func TestHTTPSubmitStepSnapshotResume(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 16})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	spec := quickSpec(9)
+	const (
+		firstLeg  = 80
+		secondLeg = 64
+	)
+
+	// Reference: one uninterrupted run of firstLeg+secondLeg rounds.
+	var ref SubmitResponse
+	post(t, ts, "/v1/sessions", SubmitRequest{Spec: spec, Rounds: firstLeg + secondLeg}, &ref)
+
+	// Interrupted: run firstLeg, snapshot, resume as a new session.
+	var sub SubmitResponse
+	post(t, ts, "/v1/sessions", SubmitRequest{Spec: spec, Rounds: firstLeg}, &sub)
+	if sub.Deduped {
+		t.Fatal("distinct round target deduped")
+	}
+	waitHTTP(t, ts, sub.ID, firstLeg)
+
+	var snap SnapshotResponse
+	if resp := get(t, ts, "/v1/sessions/"+sub.ID+"/snapshot", &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	if len(snap.Snapshot) == 0 {
+		t.Fatal("empty snapshot")
+	}
+
+	var res SubmitResponse
+	post(t, ts, "/v1/sessions", SubmitRequest{Spec: snap.Spec, Snapshot: snap.Snapshot, Rounds: secondLeg}, &res)
+	if res.ID == sub.ID {
+		t.Fatal("restore reused the source session")
+	}
+	waitHTTP(t, ts, res.ID, firstLeg+secondLeg)
+	waitHTTP(t, ts, ref.ID, firstLeg+secondLeg)
+
+	var a, b JobInfo
+	get(t, ts, "/v1/sessions/"+ref.ID, &a)
+	get(t, ts, "/v1/sessions/"+res.ID, &b)
+	if a.Stats != b.Stats {
+		t.Fatalf("resumed continuation diverged:\n ref %+v\n got %+v", a.Stats, b.Stats)
+	}
+
+	// Manual stepping drives the session past its original target.
+	var stepped JobInfo
+	post(t, ts, "/v1/sessions/"+res.ID+"/step", StepRequest{Rounds: 8}, &stepped)
+	waitHTTP(t, ts, res.ID, firstLeg+secondLeg+8)
+
+	// Metrics reflect three engine runs (ref, sub, restore) and no dedupe.
+	var mt Metrics
+	get(t, ts, "/v1/metrics", &mt)
+	if mt.SimRuns != 3 || mt.DedupeHits != 0 {
+		t.Fatalf("metrics %+v, want 3 runs / 0 hits", mt)
+	}
+}
+
+// waitHTTP polls the session until its round counter reaches want.
+func waitHTTP(t *testing.T, ts *httptest.Server, id string, want uint64) {
+	t.Helper()
+	var info JobInfo
+	if !eventually(func() bool {
+		get(t, ts, "/v1/sessions/"+id, &info)
+		if info.Status == StatusFailed {
+			t.Fatalf("session %s failed: %s", id, info.Error)
+		}
+		return info.Stats.Round >= want
+	}) {
+		t.Fatalf("session %s stuck at %+v, want round %d", id, info.Stats, want)
+	}
+}
+
+// TestHTTPStream reads the SSE feed of a running session and requires at
+// least one stats event and the done event.
+func TestHTTPStream(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, StepQuantum: 16})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var sub SubmitResponse
+	post(t, ts, "/v1/sessions", SubmitRequest{Spec: quickSpec(10), Rounds: 96}, &sub)
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	cur := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events[cur]++
+			if cur == "done" {
+				goto done
+			}
+		}
+	}
+done:
+	if events["stats"] == 0 {
+		t.Errorf("no stats events before done (saw %v)", events)
+	}
+	if events["done"] != 1 {
+		t.Errorf("done events %d, want 1 (saw %v)", events["done"], events)
+	}
+}
+
+// TestHTTPStreamRevivedJob pins the stream-after-revival fix: a job whose
+// first completion already closed Done() must still stream live stats (not
+// an instant spurious "done") when revived by a manual step.
+func TestHTTPStreamRevivedJob(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, StepQuantum: 16})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var sub SubmitResponse
+	post(t, ts, "/v1/sessions", SubmitRequest{Spec: quickSpec(11), Rounds: 32}, &sub)
+	j, _ := m.Get(sub.ID)
+	waitDone(t, j)
+
+	// Revive paused so the stream deterministically connects mid-life.
+	post(t, ts, "/v1/sessions/"+sub.ID+"/pause", struct{}{}, nil)
+	post(t, ts, "/v1/sessions/"+sub.ID+"/step", StepRequest{Rounds: 64}, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	go func() {
+		r, err := http.Post(ts.URL+"/v1/sessions/"+sub.ID+"/resume", "application/json", strings.NewReader("{}"))
+		if err == nil {
+			r.Body.Close()
+		}
+	}()
+
+	events := map[string]int{}
+	var lastDone JobInfo
+	sc := bufio.NewScanner(resp.Body)
+	cur := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events[cur]++
+			if cur == "done" {
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &lastDone); err != nil {
+					t.Fatal(err)
+				}
+				goto done
+			}
+		}
+	}
+done:
+	if events["done"] != 1 {
+		t.Fatalf("done events %d (saw %v)", events["done"], events)
+	}
+	// The spurious-done bug would report a running/queued status here with
+	// the pre-revival round; the fix ends the stream only at the real end.
+	if lastDone.Status != StatusDone || lastDone.Stats.Round != 96 {
+		t.Errorf("done event carries %s at round %d, want done at 96", lastDone.Status, lastDone.Stats.Round)
+	}
+	if events["stats"] < 2 {
+		t.Errorf("revived stream delivered %d stats events, want the live feed (saw %v)", events["stats"], events)
+	}
+}
+
+// TestHTTPErrors pins the error surface: unknown sessions, bad bodies,
+// unbuildable specs.
+func TestHTTPErrors(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	if resp := get(t, ts, "/v1/sessions/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status %d", resp.StatusCode)
+	}
+	// N below the model minimum fails at hash time.
+	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: popstab.Spec{N: 64}}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("invalid spec: status %d", resp.StatusCode)
+	}
+}
+
+// TestSessionLimit pins the registry bound.
+func TestSessionLimit(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 1})
+	defer m.Close()
+	if _, _, err := m.Submit(quickSpec(20), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Submit(quickSpec(21), 1); err == nil {
+		t.Fatal("second session admitted past MaxSessions=1")
+	}
+	// A deduped submission is not a new session and must still succeed.
+	if _, deduped, err := m.Submit(quickSpec(20), 1); err != nil || !deduped {
+		t.Fatalf("dedupe past the limit: deduped=%v err=%v", deduped, err)
+	}
+}

@@ -685,6 +685,20 @@ func (v engineView) FindNear(dst []int, limit int, center population.Point, r fl
 	return dst
 }
 
+func (v engineView) CountNear(center population.Point, r float64) int {
+	if v.e.space == nil {
+		return -1
+	}
+	n := 0
+	r2 := r * r
+	for _, pt := range v.e.space.Positions().Slice() {
+		if v.e.space.Dist2(center, pt) <= r2 {
+			n++
+		}
+	}
+	return n
+}
+
 func (v engineView) PatchPoint(center population.Point, r float64, src *prng.Source) population.Point {
 	if v.e.space == nil {
 		return center

@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapPrimitiveRoundTrip(t *testing.T) {
+	e := NewEnc()
+	e.Begin(7)
+	e.U8(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(0xDEADBEEF)
+	e.U64(0x0123456789ABCDEF)
+	e.I64(-42)
+	e.F64(-0.12345678901234567)
+	e.Bytes([]byte{1, 2, 3})
+	e.Bytes(nil)
+	e.String("époch")
+	e.End()
+	blob := e.Finish()
+
+	d, err := NewDec(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(7)
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != -0.12345678901234567 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("nil Bytes = %v", got)
+	}
+	if got := d.String(); got != "époch" {
+		t.Errorf("String = %q", got)
+	}
+	d.End()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapRejectsCorruption(t *testing.T) {
+	e := NewEnc()
+	e.Begin(1)
+	e.U64(99)
+	e.End()
+	blob := e.Finish()
+
+	if _, err := NewDec(blob[:5]); err == nil {
+		t.Error("truncated document accepted")
+	}
+	for _, flip := range []int{0, 4, 9, len(blob) - 1} {
+		c := append([]byte(nil), blob...)
+		c[flip] ^= 0x01
+		if _, err := NewDec(c); err == nil {
+			t.Errorf("corruption at byte %d accepted", flip)
+		}
+	}
+}
+
+func TestSnapSectionMisuse(t *testing.T) {
+	e := NewEnc()
+	e.Begin(3)
+	e.U64(1)
+	e.End()
+	blob := e.Finish()
+
+	// Wrong tag.
+	d, err := NewDec(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(4)
+	if d.Err() == nil {
+		t.Error("wrong section tag accepted")
+	}
+
+	// Under-consumed section.
+	d, _ = NewDec(blob)
+	d.Begin(3)
+	d.End()
+	if d.Err() == nil {
+		t.Error("under-consumed section accepted")
+	}
+
+	// Length prefix past the document.
+	e2 := NewEnc()
+	e2.Begin(1)
+	e2.U64(1 << 60) // claims a huge byte string
+	e2.End()
+	blob2 := e2.Finish()
+	d, _ = NewDec(blob2)
+	d.Begin(1)
+	if d.Bytes(); d.Err() == nil {
+		t.Error("oversized length prefix accepted")
+	}
+}
+
+func TestSnapEncoderPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("nested Begin", func() {
+		e := NewEnc()
+		e.Begin(1)
+		e.Begin(2)
+	})
+	expectPanic("End without Begin", func() { NewEnc().End() })
+	expectPanic("Finish with open section", func() {
+		e := NewEnc()
+		e.Begin(1)
+		e.Finish()
+	})
+}

@@ -21,7 +21,11 @@
 //     communication (Matcher) and program (Stepper) seams: per-agent
 //     counter-based randomness makes simulation output bit-identical
 //     across any Config.Workers count, so multi-core runs are pure
-//     speedup — for every topology and program.
+//     speedup — for every topology and program;
+//   - steppable Sessions with deterministic snapshot/resume (Session,
+//     Snapshot, RestoreSession) and the declarative, canonically hashable
+//     Spec the serving layer (internal/serve, cmd/popserve) builds on:
+//     a snapshot restored in another process continues bit-identically.
 //
 // Quick start:
 //

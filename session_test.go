@@ -1,0 +1,311 @@
+package popstab
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// sessionSpecs are the snapshot/resume scenarios: each exercises a
+// different combination of mutable per-run state — paced position-blind
+// adversaries, spatial patch attacks with alternation state (patch-combo),
+// adversarial rewiring with candidate targeting, and the rogue overlay's
+// side-array and clustered-infiltration stream.
+func sessionSpecs() map[string]Spec {
+	return map[string]Spec{
+		"mixed/greedy": {
+			N: 4096, Tinner: 24, Seed: 11,
+			Adversary: "greedy", K: 1, PerEpochBudget: 16,
+		},
+		"torus/patch-combo": {
+			N: 4096, Tinner: 24, Seed: 12, Topology: "torus",
+			Adversary: "patch-combo", Patch: &BallSpec{X: 0.5, Y: 0.5, R: 0.1},
+			K: 1, PerEpochBudget: 24,
+		},
+		"smallworld/rewire-force+rogue-cluster": {
+			N: 4096, Tinner: 24, Seed: 13, Topology: "smallworld",
+			Adversary: "rewire-force", Patch: &BallSpec{X: 0.25, R: 0.05},
+			Rogue: &RogueSpec{
+				ReplicateEvery: 3, DetectProb: 1,
+				InitialRogues: 16, RoguesPerEpoch: 4,
+				Cluster: &BallSpec{X: 0.25, R: 0.05},
+			},
+		},
+		"ring/delete-patch+rogue": {
+			N: 4096, Tinner: 24, Seed: 14, Topology: "ring",
+			Adversary: "delete-patch", Patch: &BallSpec{X: 0.75, R: 0.08},
+			K: 1, PerEpochBudget: 16,
+			Rogue: &RogueSpec{ReplicateEvery: 4, DetectProb: 0.9, InitialRogues: 8},
+		},
+	}
+}
+
+// TestSnapshotResumeBitIdentical is the golden session guarantee: Snapshot
+// at an arbitrary (mid-epoch) round, Restore into a fresh
+// process-equivalent session, continue — and the final state is
+// bit-identical to the uninterrupted run, for Workers ∈ {1, 2, NumCPU} on
+// BOTH sides of the boundary (Workers is a throughput knob, so the resumed
+// half deliberately runs at a different worker count than the uninterrupted
+// reference).
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	const (
+		snapAt = 137 // mid-epoch for Tinner=24 (T=144)
+		total  = 300
+	)
+	workerGrid := []int{1, 2, runtime.NumCPU()}
+	for name, spec := range sessionSpecs() {
+		t.Run(name, func(t *testing.T) {
+			spec := spec
+			// Uninterrupted reference at Workers=1.
+			spec.Workers = 1
+			ref, err := NewSessionFromSpec(spec)
+			if err != nil {
+				t.Fatalf("build reference: %v", err)
+			}
+			refStats := ref.Step(total)
+			refSnap := ref.Snapshot()
+
+			for _, w := range workerGrid {
+				spec.Workers = w
+				first, err := NewSessionFromSpec(spec)
+				if err != nil {
+					t.Fatalf("build (workers=%d): %v", w, err)
+				}
+				first.Step(snapAt)
+				mid := first.Snapshot()
+
+				// Resume at a different worker count than the first half
+				// ran at, to prove the boundary is worker-invariant too.
+				respec := spec
+				respec.Workers = workerGrid[(indexOf(workerGrid, w)+1)%len(workerGrid)]
+				resumed, err := RestoreSessionFromSpec(respec, mid)
+				if err != nil {
+					t.Fatalf("restore (workers=%d->%d): %v", w, respec.Workers, err)
+				}
+				if got := resumed.Stats().Round; got != snapAt {
+					t.Fatalf("restored session at round %d, want %d", got, snapAt)
+				}
+				gotStats := resumed.Step(total - snapAt)
+				if gotStats != refStats {
+					t.Errorf("workers %d->%d: stats diverged after resume:\n got %+v\nwant %+v",
+						w, respec.Workers, gotStats, refStats)
+				}
+				if !bytes.Equal(resumed.Snapshot(), refSnap) {
+					t.Errorf("workers %d->%d: final snapshot differs from uninterrupted run",
+						w, respec.Workers)
+				}
+			}
+		})
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// TestSnapshotAtEveryPhase is the fuzz-style table over WHERE the snapshot
+// is cut: boundary and mid-epoch rounds, pacing-period edges, and the round
+// right after an epoch rollover — the cuts that exercise mid-epoch PerEpoch
+// budget pacing, the SmallWorld rewire controller, and the rogue overlay's
+// queued clustered placements. One configuration carries all three; every
+// cut must resume bit-identically.
+func TestSnapshotAtEveryPhase(t *testing.T) {
+	spec := Spec{
+		N: 4096, Tinner: 24, Seed: 21, // T = 144
+		Topology:  "smallworld",
+		Adversary: "rewire-deny", Patch: &BallSpec{X: 0.4, R: 0.06},
+		K: 1, PerEpochBudget: 16, // pacing period 9: acts on rounds 0, 9, 18, …
+		Rogue: &RogueSpec{
+			ReplicateEvery: 3, DetectProb: 1,
+			InitialRogues: 8, RoguesPerEpoch: 4,
+			Cluster: &BallSpec{X: 0.4, R: 0.06},
+		},
+		Workers: 2,
+	}
+	const total = 300
+	ref, err := NewSessionFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStats := ref.Step(total)
+	refSnap := ref.Snapshot()
+
+	cuts := []int{1, 8, 9, 10, 71, 143, 144, 145, 152, 287}
+	for _, cut := range cuts {
+		s, err := NewSessionFromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Step(cut)
+		resumed, err := RestoreSessionFromSpec(spec, s.Snapshot())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got := resumed.Step(total - cut); got != refStats {
+			t.Errorf("cut %d: stats diverged:\n got %+v\nwant %+v", cut, got, refStats)
+		}
+		if !bytes.Equal(resumed.Snapshot(), refSnap) {
+			t.Errorf("cut %d: final snapshot differs from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch pins the identity checks: a snapshot only
+// restores into a session built from the same configuration.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	spec := Spec{N: 4096, Tinner: 24, Seed: 3}
+	s, err := NewSessionFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(10)
+	snap := s.Snapshot()
+
+	bad := spec
+	bad.Seed = 4
+	if _, err := RestoreSessionFromSpec(bad, snap); err == nil {
+		t.Error("restore with different seed succeeded, want error")
+	}
+	badTopo := spec
+	badTopo.Topology = "torus"
+	if _, err := RestoreSessionFromSpec(badTopo, snap); err == nil {
+		t.Error("restore with different topology succeeded, want error")
+	}
+	badProto := spec
+	badProto.Protocol = "attempt2"
+	if _, err := RestoreSessionFromSpec(badProto, snap); err == nil {
+		t.Error("restore with different protocol succeeded, want error")
+	}
+	badSelfish := spec
+	badSelfish.Selfish = true
+	if _, err := RestoreSessionFromSpec(badSelfish, snap); err == nil {
+		t.Error("restore with selfish wrapper succeeded, want error")
+	}
+	badAdv := spec
+	badAdv.Adversary = "greedy"
+	badAdv.K = 0 // keep the engine's K identical; the strategy alone must be rejected
+	if _, err := RestoreSessionFromSpec(badAdv, snap); err == nil {
+		t.Error("restore with different adversary succeeded, want error")
+	}
+
+	// Patch geometry is part of the adversary fingerprint even though the
+	// strategy NAME only carries the radius.
+	pspec := spec
+	pspec.Topology = "ring"
+	pspec.Adversary = "delete-patch"
+	pspec.Patch = &BallSpec{X: 0.2, R: 0.1}
+	pspec.K = 2
+	ps, err := NewSessionFromSpec(pspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Step(5)
+	psnap := ps.Snapshot()
+	badPatch := pspec
+	badPatch.Patch = &BallSpec{X: 0.8, R: 0.1}
+	if _, err := RestoreSessionFromSpec(badPatch, psnap); err == nil {
+		t.Error("restore with shifted patch center succeeded, want error")
+	}
+
+	// Rogue parameter mismatches are caught by the overlay's fingerprint.
+	rspec := spec
+	rspec.Rogue = &RogueSpec{ReplicateEvery: 3, DetectProb: 1, InitialRogues: 4}
+	rs, err := NewSessionFromSpec(rspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Step(5)
+	rsnap := rs.Snapshot()
+	badRogue := rspec
+	badRogue.Rogue = &RogueSpec{ReplicateEvery: 4, DetectProb: 1, InitialRogues: 4}
+	if _, err := RestoreSessionFromSpec(badRogue, rsnap); err == nil {
+		t.Error("restore with different rogue replication rate succeeded, want error")
+	}
+	// Corruption: flip one byte in the middle.
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := RestoreSessionFromSpec(spec, corrupt); err == nil {
+		t.Error("restore of corrupted snapshot succeeded, want error")
+	}
+	if _, err := RestoreSessionFromSpec(spec, snap[:len(snap)-9]); err == nil {
+		t.Error("restore of truncated snapshot succeeded, want error")
+	}
+}
+
+// TestSpecHash pins the canonical-hash semantics the serving layer's dedupe
+// cache relies on.
+func TestSpecHash(t *testing.T) {
+	base := Spec{N: 4096, Tinner: 24, Seed: 5}
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workers is a throughput knob: excluded from identity.
+	w := base
+	w.Workers = 7
+	if h2, _ := w.Hash(); h2 != h1 {
+		t.Error("Workers changed the spec hash")
+	}
+
+	// Defaults resolve: explicit canonical values hash like omitted ones.
+	exp := base
+	exp.Protocol = "paper"
+	exp.Topology = "mixed"
+	exp.Gamma = 0.25
+	exp.Alpha = 0.5
+	exp.MessageBits = 3
+	exp.InitialSize = 4096
+	exp.Adversary = "none"
+	if h2, _ := exp.Hash(); h2 != h1 {
+		t.Error("explicit defaults hash differently from omitted defaults")
+	}
+
+	// A stray patch ball on a position-blind strategy is inert: the
+	// simulations are identical, so the hashes must be too.
+	g1 := base
+	g1.Adversary = "greedy"
+	g1.K = 4
+	g2 := g1
+	g2.Patch = &BallSpec{X: 0.5, R: 0.1}
+	hg1, _ := g1.Hash()
+	if hg2, _ := g2.Hash(); hg2 != hg1 {
+		t.Error("inert patch ball changed the hash of a position-blind adversary spec")
+	}
+	// On a spatial strategy the ball is live and must distinguish.
+	s1 := base
+	s1.Topology = "ring"
+	s1.Adversary = "delete-patch"
+	s1.K = 2
+	s1.Patch = &BallSpec{X: 0.2, R: 0.1}
+	s2 := s1
+	s2.Patch = &BallSpec{X: 0.8, R: 0.1}
+	hs1, _ := s1.Hash()
+	if hs2, _ := s2.Hash(); hs2 == hs1 {
+		t.Error("different patch centers hash identically on a spatial strategy")
+	}
+
+	// Real differences change the hash.
+	for _, mut := range []func(*Spec){
+		func(s *Spec) { s.Seed = 6 },
+		func(s *Spec) { s.N = 16384 },
+		func(s *Spec) { s.Topology = "ring" },
+		func(s *Spec) { s.Adversary = "greedy"; s.K = 1 },
+		func(s *Spec) { s.Rogue = &RogueSpec{ReplicateEvery: 3, DetectProb: 1} },
+	} {
+		m := base
+		mut(&m)
+		if h2, _ := m.Hash(); h2 == h1 {
+			t.Errorf("mutated spec %+v hashes equal to base", m)
+		}
+	}
+
+	if _, err := (Spec{N: 4096, Adversary: "no-such-strategy"}).Hash(); err == nil {
+		t.Error("unknown adversary name hashed without error")
+	}
+}

@@ -1,0 +1,254 @@
+package popstab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"popstab/internal/params"
+)
+
+// BallSpec is the JSON form of a patch ball: center (X; Y on 2-D
+// topologies) and radius (arc half-length in 1-D).
+type BallSpec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y,omitempty"`
+	R float64 `json:"r"`
+}
+
+// patch converts to the strategy-facing PatchSpec.
+func (b BallSpec) patch() PatchSpec {
+	return PatchSpec{Center: Point{X: b.X, Y: b.Y}, Radius: b.R}
+}
+
+// RogueSpec is the declarative form of RogueConfig.
+type RogueSpec struct {
+	ReplicateEvery int       `json:"replicate_every"`
+	DetectProb     float64   `json:"detect_prob"`
+	InitialRogues  int       `json:"initial_rogues,omitempty"`
+	RoguesPerEpoch int       `json:"rogues_per_epoch,omitempty"`
+	Cluster        *BallSpec `json:"cluster,omitempty"`
+}
+
+// Spec is the fully declarative, JSON-serializable form of Config: every
+// axis is a value (strategy and protocol by registry name), so a Spec can
+// cross a network or a process boundary and — unlike Config, which carries
+// live Adversary/Scheduler objects — be canonically hashed. The serving
+// layer (internal/serve) accepts Specs as job submissions and dedupes
+// identical ones by Hash.
+type Spec struct {
+	// N is the population target (power of four, ≥ 4096).
+	N int `json:"n"`
+	// Tinner overrides the recruitment subphase length (0 = paper log²N).
+	Tinner int `json:"tinner,omitempty"`
+	// Gamma is the matched fraction per round (0 = 1/4).
+	Gamma float64 `json:"gamma,omitempty"`
+	// Alpha is the admissible half-width (0 = 1/2).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Protocol selects the per-agent program by name: paper (default),
+	// attempt1, attempt2, empty.
+	Protocol string `json:"protocol,omitempty"`
+	// Selfish wraps the protocol in the selfish-replicator variant.
+	Selfish bool `json:"selfish,omitempty"`
+	// MessageBits selects the wire codec: 3 (default) or 4.
+	MessageBits int `json:"message_bits,omitempty"`
+	// Topology selects the communication topology by name: mixed
+	// (default), torus, grid, ring, smallworld.
+	Topology string `json:"topology,omitempty"`
+	// DaughterSpread scales daughter placement (spatial topologies; 0 = 1).
+	DaughterSpread float64 `json:"daughter_spread,omitempty"`
+	// RewireProb is the Watts-Strogatz β (SmallWorld; 0 = 0.1).
+	RewireProb float64 `json:"rewire_prob,omitempty"`
+	// Adversary selects a strategy by registry name (AdversaryNames or
+	// SpatialAdversaryNames; empty = none). Patch parameterizes the
+	// spatial family.
+	Adversary string `json:"adversary,omitempty"`
+	// Patch is the ball spatial strategies act on.
+	Patch *BallSpec `json:"patch,omitempty"`
+	// K is the adversary's per-round alteration budget.
+	K int `json:"k,omitempty"`
+	// PerEpochBudget paces the adversary to this many alterations per
+	// epoch.
+	PerEpochBudget int `json:"per_epoch_budget,omitempty"`
+	// Rogue enables the malicious-program extension.
+	Rogue *RogueSpec `json:"rogue,omitempty"`
+	// InitialSize overrides the starting population (0 = N).
+	InitialSize int `json:"initial_size,omitempty"`
+	// Seed derives all randomness.
+	Seed uint64 `json:"seed"`
+	// Workers shards the engine's per-agent phases. It is a pure
+	// throughput knob — output is bit-identical across worker counts — and
+	// is therefore EXCLUDED from Hash: submissions differing only in
+	// Workers are the same simulation.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Config materializes the spec into a Config with live strategy objects.
+// Each call builds fresh objects, so two Sims never share adversary state.
+func (sp Spec) Config() (Config, error) {
+	proto, err := ProtocolKindFromString(sp.Protocol)
+	if err != nil {
+		return Config{}, err
+	}
+	topo, err := TopologyFromString(sp.Topology)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		N:              sp.N,
+		Tinner:         sp.Tinner,
+		Gamma:          sp.Gamma,
+		Alpha:          sp.Alpha,
+		Protocol:       proto,
+		Selfish:        sp.Selfish,
+		MessageBits:    sp.MessageBits,
+		Topology:       topo,
+		DaughterSpread: sp.DaughterSpread,
+		RewireProb:     sp.RewireProb,
+		K:              sp.K,
+		PerEpochBudget: sp.PerEpochBudget,
+		InitialSize:    sp.InitialSize,
+		Seed:           sp.Seed,
+		Workers:        sp.Workers,
+	}
+	if sp.Rogue != nil {
+		rc := RogueConfig{
+			ReplicateEvery: sp.Rogue.ReplicateEvery,
+			DetectProb:     sp.Rogue.DetectProb,
+			InitialRogues:  sp.Rogue.InitialRogues,
+			RoguesPerEpoch: sp.Rogue.RoguesPerEpoch,
+		}
+		if sp.Rogue.Cluster != nil {
+			c := sp.Rogue.Cluster.patch()
+			rc.Cluster = &c
+		}
+		cfg.Rogue = &rc
+	}
+	if sp.Adversary != "" && sp.Adversary != "none" {
+		p, err := sp.derive()
+		if err != nil {
+			return Config{}, err
+		}
+		var patch PatchSpec
+		if sp.Patch != nil {
+			patch = sp.Patch.patch()
+		}
+		adv, err := NewAdversaryByName(sp.Adversary, p)
+		if err != nil {
+			adv, err = NewSpatialAdversaryByName(sp.Adversary, p, patch)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("popstab: unknown adversary %q", sp.Adversary)
+		}
+		cfg.Adversary = adv
+	}
+	return cfg, nil
+}
+
+// derive computes the protocol parameterization the spec implies.
+func (sp Spec) derive() (Params, error) {
+	var opts []params.Option
+	if sp.Tinner > 0 {
+		opts = append(opts, params.WithTinner(sp.Tinner))
+	}
+	if sp.Gamma > 0 {
+		opts = append(opts, params.WithGamma(sp.Gamma))
+	}
+	if sp.Alpha > 0 {
+		opts = append(opts, params.WithAlpha(sp.Alpha))
+	}
+	return params.Derive(sp.N, opts...)
+}
+
+// Normalize resolves every defaulted field to its canonical value, so that
+// two specs describing the same simulation normalize identically ("" and
+// "paper" are the same protocol; Gamma 0 and 0.25 the same matching rate).
+// It validates on the way: a spec that cannot build returns its error.
+func (sp Spec) Normalize() (Spec, error) {
+	p, err := sp.derive()
+	if err != nil {
+		return Spec{}, fmt.Errorf("popstab: %w", err)
+	}
+	// Config() rejects bad registry names; combination errors that need
+	// the full constructor (e.g. DaughterSpread on mixed) surface when the
+	// spec is built into a session, so Hash stays allocation-light.
+	if _, err := sp.Config(); err != nil {
+		return Spec{}, err
+	}
+	out := sp
+	out.Tinner = p.Tinner
+	out.Gamma = p.Gamma
+	out.Alpha = p.Alpha
+	kind, _ := ProtocolKindFromString(sp.Protocol)
+	out.Protocol = kind.String()
+	topo, _ := TopologyFromString(sp.Topology)
+	out.Topology = topo.String()
+	if out.MessageBits == 0 {
+		out.MessageBits = 3
+	}
+	if topo != Mixed && out.DaughterSpread == 0 {
+		out.DaughterSpread = 1
+	}
+	if topo == SmallWorld && out.RewireProb == 0 {
+		out.RewireProb = 0.1
+	}
+	if out.Adversary == "" {
+		out.Adversary = "none"
+	}
+	if out.Adversary == "none" {
+		out.Patch = nil
+		out.K = 0
+		out.PerEpochBudget = 0
+	} else if spatial := spatialAdversaryFactories(); spatial[out.Adversary] == nil {
+		// Only the spatial family reads the patch ball; a stray Patch on a
+		// position-blind strategy describes the identical simulation and
+		// must hash identically.
+		out.Patch = nil
+	} else if out.Patch == nil {
+		// Spatial strategy with the implicit zero ball: canonicalize so
+		// nil and an explicit zero ball hash identically.
+		out.Patch = &BallSpec{}
+	}
+	if out.InitialSize == 0 {
+		out.InitialSize = sp.N
+	}
+	return out, nil
+}
+
+// Hash returns the canonical content address of the simulation the spec
+// describes: a hex SHA-256 over the normalized spec with Workers cleared.
+// Equal hashes mean bit-identical simulations (same trajectory, same
+// stats), which is what lets the serving layer dedupe submissions.
+func (sp Spec) Hash() (string, error) {
+	norm, err := sp.Normalize()
+	if err != nil {
+		return "", err
+	}
+	norm.Workers = 0
+	blob, err := json.Marshal(norm)
+	if err != nil {
+		return "", fmt.Errorf("popstab: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// NewSessionFromSpec materializes the spec and opens a session over it.
+func NewSessionFromSpec(sp Spec) (*Session, error) {
+	cfg, err := sp.Config()
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(cfg)
+}
+
+// RestoreSessionFromSpec materializes the spec and restores a snapshot
+// taken from a session of an equal spec (Workers may differ).
+func RestoreSessionFromSpec(sp Spec, data []byte) (*Session, error) {
+	cfg, err := sp.Config()
+	if err != nil {
+		return nil, err
+	}
+	return RestoreSession(cfg, data)
+}
