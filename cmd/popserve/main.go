@@ -6,14 +6,22 @@
 // excluded from the identity because simulation output is bit-identical
 // across worker counts).
 //
+// With -checkpoint-dir the server is crash-safe: sessions checkpoint to
+// disk on a round cadence and on graceful shutdown, and a restarted server
+// rehydrates them and continues bit-identically — a SIGKILL loses at most
+// the rounds since the last cadence checkpoint, never a session. SIGTERM
+// drains cleanly: admissions stop (readyz flips to 503), in-flight quanta
+// park, live sessions checkpoint, then the HTTP listener closes.
+//
 // Examples:
 //
-//	popserve -addr :8080
+//	popserve -addr :8080 -checkpoint-dir /var/lib/popserve
 //	curl -s localhost:8080/v1/sessions -d '{"spec":{"n":4096,"tinner":24,"seed":1},"rounds":288}'
 //	curl -s localhost:8080/v1/sessions/s-000001
 //	curl -s localhost:8080/v1/sessions/s-000001/snapshot > snap.json
 //	curl -s localhost:8080/v1/sessions -d "$(jq '{spec,snapshot,rounds:144}' snap.json)"
 //	curl -N localhost:8080/v1/sessions/s-000001/stream
+//	curl -s localhost:8080/v1/readyz
 //	curl -s localhost:8080/v1/metrics
 package main
 
@@ -48,18 +56,49 @@ func run(args []string) error {
 		maxSessions   = fs.Int("max-sessions", 4096, "session registry bound (completed sessions included)")
 		quantum       = fs.Int("quantum", 64, "rounds per scheduling slice (pause/snapshot latency bound)")
 		workers       = fs.Int("session-workers", 1, "engine worker count per session")
+		ckptDir       = fs.String("checkpoint-dir", "", "durable checkpoint directory (empty: in-memory only, no crash recovery)")
+		ckptEvery     = fs.Int("checkpoint-every", 256, "rounds between durable checkpoints per session")
+		sessionTTL    = fs.Duration("session-ttl", 0, "reap terminal sessions idle this long (0: keep forever)")
+		gcInterval    = fs.Duration("gc-interval", 30*time.Second, "janitor cadence for TTL reaping and eviction")
+		maxResident   = fs.Int("max-resident", 0, "sessions kept in memory before LRU hibernation to the checkpoint dir (0: max-sessions)")
+		submitRate    = fs.Float64("submit-rate", 0, "admission gate: sustained submissions/sec (0: unlimited)")
+		submitBurst   = fs.Int("submit-burst", 0, "admission gate: burst allowance (0: rate rounded up)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget (drain + final checkpoints)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	m := serve.NewManager(serve.Config{
-		MaxConcurrent:  *maxConcurrent,
-		MaxSessions:    *maxSessions,
-		StepQuantum:    *quantum,
-		SessionWorkers: *workers,
-	})
-	defer m.Close()
+	cfg := serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxSessions:     *maxSessions,
+		StepQuantum:     *quantum,
+		SessionWorkers:  *workers,
+		CheckpointEvery: *ckptEvery,
+		SessionTTL:      *sessionTTL,
+		GCInterval:      *gcInterval,
+		MaxResident:     *maxResident,
+		SubmitRate:      *submitRate,
+		SubmitBurst:     *submitBurst,
+	}
+	if *ckptDir != "" {
+		store, err := serve.NewFSStore(*ckptDir)
+		if err != nil {
+			return fmt.Errorf("checkpoint store: %w", err)
+		}
+		cfg.Store = store
+	}
+
+	m := serve.NewManager(cfg)
+	if cfg.Store != nil {
+		n, err := m.Recover()
+		if err != nil {
+			return fmt.Errorf("recover from %s: %w", *ckptDir, err)
+		}
+		if n > 0 {
+			log.Printf("popserve recovered %d session(s) from %s", n, *ckptDir)
+		}
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -71,18 +110,36 @@ func run(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("popserve listening on %s (pool %d, quantum %d rounds)", *addr, *maxConcurrent, *quantum)
+	log.Printf("popserve listening on %s (pool %d, quantum %d rounds, checkpoints %s)",
+		*addr, *maxConcurrent, *quantum, describeStore(*ckptDir))
 
 	select {
 	case err := <-errCh:
+		m.Close()
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("popserve shutting down")
-	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+
+	// Ordered drain: stop admissions and park runners first (readyz flips
+	// to 503 and open SSE streams end immediately), checkpoint every live
+	// session, then close the listener — which can now finish because no
+	// handler is stuck behind a stepping quantum.
+	log.Printf("popserve draining (budget %s)", *drainTimeout)
+	shctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if err := m.Shutdown(shctx); err != nil {
+		log.Printf("popserve drain incomplete: %v", err)
+	}
 	if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	return nil
+}
+
+// describeStore renders the checkpoint configuration for the boot log line.
+func describeStore(dir string) string {
+	if dir == "" {
+		return "off"
+	}
+	return "in " + dir
 }

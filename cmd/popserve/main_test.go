@@ -1,8 +1,20 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"popstab"
+	"popstab/internal/serve"
 )
 
 func TestRunFlagError(t *testing.T) {
@@ -15,5 +27,104 @@ func TestRunListenError(t *testing.T) {
 	err := run([]string{"-addr", "256.256.256.256:0"})
 	if err == nil || !strings.Contains(err.Error(), "listen") {
 		t.Fatalf("bad address: err = %v", err)
+	}
+}
+
+func TestRunBadCheckpointDir(t *testing.T) {
+	// A file where the directory should be: the store must refuse to boot.
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-addr", "127.0.0.1:0", "-checkpoint-dir", path})
+	if err == nil || !strings.Contains(err.Error(), "checkpoint store") {
+		t.Fatalf("file as checkpoint dir: err = %v", err)
+	}
+}
+
+// freeAddr reserves a loopback port and releases it for run() to claim.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestRunRecoverAndDrain is the process-level crash-safety round trip: a
+// prior process leaves a checkpoint behind, a fresh popserve boots against
+// the same directory, serves the recovered session over HTTP, and drains
+// cleanly on SIGTERM.
+func TestRunRecoverAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	store, err := serve.NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "prior process": run a session to completion and shut down
+	// gracefully so its checkpoint (state + dedupe identity) is durable.
+	prev := serve.NewManager(serve.Config{MaxConcurrent: 2, StepQuantum: 16, Store: store})
+	spec := popstab.Spec{N: 4096, Tinner: 24, Seed: 5}
+	j, _, err := prev.Submit(context.Background(), spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("seed job did not complete")
+	}
+	id := j.ID()
+	prev.Close()
+
+	addr := freeAddr(t)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-addr", addr, "-checkpoint-dir", dir, "-drain-timeout", "30s"})
+	}()
+
+	// The recovered session must be resolvable over HTTP with its state.
+	var info serve.JobInfo
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/sessions/%s", addr, id))
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered session %s never served: %v", id, err)
+		}
+		select {
+		case runErr := <-errCh:
+			t.Fatalf("server exited during recovery probe: %v", runErr)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if info.Status != serve.StatusDone || info.Stats.Round != 64 {
+		t.Fatalf("recovered session state: %+v", info)
+	}
+
+	// SIGTERM: ordered drain, clean exit.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain on SIGTERM")
+	}
+	// The drained server re-checkpointed the session for the next boot.
+	if _, ok, err := store.Get(id); !ok || err != nil {
+		t.Fatalf("checkpoint missing after drain: ok=%v err=%v", ok, err)
 	}
 }

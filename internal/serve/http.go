@@ -2,8 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"time"
 
 	"popstab"
 )
@@ -12,7 +15,7 @@ import (
 // JSON (encoding/json's []byte convention), so the whole API is
 // curl-friendly:
 //
-//	POST /v1/sessions                   {"spec": {...}, "rounds": N}       submit (deduped)
+//	POST /v1/sessions                   {"spec": {...}, "rounds": N}       submit (deduped; 429 + Retry-After when throttled)
 //	POST /v1/sessions                   {"spec", "snapshot", "rounds"}     restore + continue
 //	GET  /v1/sessions                                                      list
 //	GET  /v1/sessions/{id}                                                 status + stats
@@ -20,9 +23,13 @@ import (
 //	POST /v1/sessions/{id}/pause                                           park
 //	POST /v1/sessions/{id}/resume                                          unpark
 //	GET  /v1/sessions/{id}/snapshot                                        spec + snapshot bytes
-//	GET  /v1/sessions/{id}/stream                                          SSE stats feed
-//	GET  /v1/healthz                                                       liveness
-//	GET  /v1/metrics                                                       run/dedupe counters
+//	GET  /v1/sessions/{id}/stream                                          SSE stats feed (heartbeat comments while idle)
+//	GET  /v1/healthz   (also /healthz)                                     liveness
+//	GET  /v1/readyz    (also /readyz)                                      readiness: slot-pool saturation + admission-gate state; 503 while draining/saturated
+//	GET  /v1/metrics                                                       run/dedupe/failure/checkpoint counters
+//
+// Hibernated sessions are revived transparently by the {id} lookup; a
+// draining server answers control calls with 503.
 
 // SubmitRequest is the POST /v1/sessions body.
 type SubmitRequest struct {
@@ -64,12 +71,31 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// streamHeartbeat is the idle-stream keepalive cadence: SSE comment lines
+// emitted so proxies and LBs do not reap quiet connections. A variable so
+// tests can shorten it.
+var streamHeartbeat = 15 * time.Second
+
 // NewHandler exposes m over HTTP.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}
+	readyz := func(w http.ResponseWriter, r *http.Request) {
+		rd := m.Readiness()
+		code := http.StatusOK
+		if !rd.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, rd)
+	}
+	// Registered under /v1 like the rest of the API and at the bare paths
+	// load balancers conventionally probe.
+	mux.HandleFunc("GET /v1/healthz", healthz)
+	mux.HandleFunc("GET /healthz", healthz)
+	mux.HandleFunc("GET /v1/readyz", readyz)
+	mux.HandleFunc("GET /readyz", readyz)
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
@@ -85,12 +111,12 @@ func NewHandler(m *Manager) http.Handler {
 			err     error
 		)
 		if len(req.Snapshot) > 0 {
-			j, err = m.Restore(req.Spec, req.Snapshot, req.Rounds)
+			j, err = m.Restore(r.Context(), req.Spec, req.Snapshot, req.Rounds)
 		} else {
-			j, deduped, err = m.Submit(req.Spec, req.Rounds)
+			j, deduped, err = m.Submit(r.Context(), req.Spec, req.Rounds)
 		}
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeSubmitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, SubmitResponse{ID: j.ID(), Deduped: deduped, Info: j.Info()})
@@ -128,18 +154,45 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, j.Info())
 	}))
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
-		spec, blob, err := j.Snapshot()
+		spec, blob, err := j.Snapshot(r.Context())
 		if err != nil {
 			writeError(w, http.StatusConflict, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, SnapshotResponse{ID: j.ID(), Spec: spec, Snapshot: blob})
 	}))
-	mux.HandleFunc("GET /v1/sessions/{id}/stream", withJob(m, streamHandler))
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+			return
+		}
+		streamHandler(m, j, w, r)
+	})
 	return mux
 }
 
-// withJob resolves the {id} path value.
+// writeSubmitError maps submission failures to status codes: throttled →
+// 429 with a Retry-After hint, draining → 503, everything else (bad specs,
+// full registry) → 422.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var throttled *ThrottledError
+	switch {
+	case errors.As(err, &throttled):
+		secs := int(math.Ceil(throttled.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// withJob resolves the {id} path value (reviving hibernated sessions).
 func withJob(m *Manager, fn func(*Job, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Get(r.PathValue("id"))
@@ -153,9 +206,13 @@ func withJob(m *Manager, fn func(*Job, http.ResponseWriter, *http.Request)) http
 
 // streamHandler serves the SSE stats feed: one "stats" event per completed
 // step quantum (lossy under backpressure), a "done" event at completion,
-// then the stream ends. Reconnecting clients just resubscribe — the feed
-// is progress, not history.
-func streamHandler(j *Job, w http.ResponseWriter, r *http.Request) {
+// then the stream ends. While the feed is idle it emits heartbeat comment
+// lines every streamHeartbeat so intermediaries keep the connection open.
+// The subscription ends — freeing the fan-out slot — when the client
+// disconnects (r.Context) or the server drains (m.ShuttingDown).
+// Reconnecting clients just resubscribe; the feed is progress, not
+// history.
+func streamHandler(m *Manager, j *Job, w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
@@ -190,10 +247,22 @@ func streamHandler(j *Job, w http.ResponseWriter, r *http.Request) {
 	default:
 	}
 
+	hb := time.NewTicker(streamHeartbeat)
+	defer hb.Stop()
+
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-m.ShuttingDown():
+			// Draining: end the stream so http.Server.Shutdown can finish
+			// instead of waiting out an idle subscriber.
+			return
+		case <-hb.C:
+			// SSE comment line: ignored by clients, keeps proxies from
+			// reaping an idle connection.
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
 		case <-done:
 			writeEvent(w, "done", j.Info())
 			fl.Flush()

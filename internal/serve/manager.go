@@ -17,6 +17,29 @@
 // shutdown all take effect with at most one quantum of latency, and a
 // snapshot can be cut at a true between-rounds boundary.
 //
+// # Failure model
+//
+// The serving layer assumes sessions can fail and the process can die at
+// any instant, and bounds the damage (DESIGN.md §9):
+//
+//   - Panic isolation: a panic anywhere in a runner — session build or a
+//     step quantum — is recovered into a StatusFailed transition carrying
+//     the stack, the dedupe entry is evicted, and the pool slot is returned
+//     by defer, so one poisoned spec cannot leak capacity.
+//   - Durable checkpoints: with a CheckpointStore configured, the runner
+//     persists a checkpoint every CheckpointEvery rounds and at completion,
+//     and Shutdown checkpoints every live session; Recover re-registers
+//     checkpointed jobs on startup and resumes their outstanding rounds,
+//     bit-identically to a run that was never interrupted.
+//   - GC and eviction: terminal sessions idle past SessionTTL are reaped;
+//     under registry pressure the least-recently-touched idle sessions are
+//     hibernated — spilled to the store and transparently revived by the
+//     next Get.
+//   - Admission control: an optional token-bucket gate rejects submission
+//     bursts with a Retry-After hint instead of letting the registry fill.
+//   - Fault injection: production code consults Config.Faults at the named
+//     points in internal/fault; chaos tests arm them to prove the above.
+//
 // # Dedupe
 //
 // Submissions are identified by (popstab.Spec.Hash, target rounds). The
@@ -27,17 +50,23 @@
 // engine runs and Metrics.DedupeHits the submissions served without one;
 // the load smoke (examples/serve) asserts on exactly these. Restored
 // sessions (snapshot resumes) never join the cache: their state is not a
-// pure function of the spec.
+// pure function of the spec. Recovered and revived jobs rejoin it when
+// they held their identity at checkpoint time.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"popstab"
+	"popstab/internal/fault"
 )
 
 // Config parameterizes a Manager.
@@ -45,8 +74,9 @@ type Config struct {
 	// MaxConcurrent bounds how many sessions step simultaneously
 	// (0 = runtime.NumCPU()).
 	MaxConcurrent int
-	// MaxSessions bounds the registry; submissions beyond it fail
-	// (0 = 4096). Completed jobs count — they are the result cache.
+	// MaxSessions bounds the registry; submissions beyond it fail — or,
+	// with a Store, hibernate an idle session to make room (0 = 4096).
+	// Completed jobs count — they are the result cache.
 	MaxSessions int
 	// StepQuantum is the number of rounds a runner advances per pool slot
 	// (0 = 64): the latency bound on pause/snapshot/shutdown.
@@ -55,6 +85,35 @@ type Config struct {
 	// pool provides cross-session parallelism, so intra-session sharding
 	// is usually left off).
 	SessionWorkers int
+
+	// Store persists checkpoints for crash recovery and hibernation
+	// (nil = neither).
+	Store CheckpointStore
+	// CheckpointEvery is the round cadence of durable checkpoints
+	// (0 = 256; only meaningful with a Store).
+	CheckpointEvery int
+	// SessionTTL reaps terminal (done/failed) sessions idle this long
+	// (0 = never). Reaped done jobs lose their checkpoint too: reaped
+	// means gone.
+	SessionTTL time.Duration
+	// MaxResident is the janitor's residency watermark: GC hibernates
+	// least-recently-touched idle sessions while more than this many are
+	// resident (0 = MaxSessions, i.e. hibernation only under submission
+	// pressure). Requires a Store.
+	MaxResident int
+	// GCInterval is the janitor cadence (0 = 30s; the janitor only runs
+	// when SessionTTL or a Store is configured).
+	GCInterval time.Duration
+
+	// SubmitRate enables the token-bucket admission gate: sustained
+	// non-deduped submissions per second (0 = unlimited). SubmitBurst is
+	// the bucket size (0 = max(1, ceil(SubmitRate))).
+	SubmitRate  float64
+	SubmitBurst int
+
+	// Faults is the failure-injection set production code consults
+	// (nil = never fires).
+	Faults *fault.Set
 }
 
 // withDefaults resolves zero fields.
@@ -70,6 +129,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionWorkers <= 0 {
 		c.SessionWorkers = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 256
+	}
+	if c.MaxResident <= 0 || c.MaxResident > c.MaxSessions {
+		c.MaxResident = c.MaxSessions
+	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = 30 * time.Second
 	}
 	return c
 }
@@ -89,27 +157,81 @@ const (
 	StatusPaused Status = "paused"
 	// StatusDone: the requested rounds have run to completion.
 	StatusDone Status = "done"
-	// StatusFailed: the session could not be built or restored.
+	// StatusFailed: the session could not be built or restored, or its
+	// runner panicked (Error carries the recovered panic and stack).
 	StatusFailed Status = "failed"
 )
+
+// Sentinel errors the transport maps to distinct status codes.
+var (
+	// ErrClosed: the manager is draining; no new work is admitted.
+	ErrClosed = errors.New("serve: manager closed")
+	// ErrHibernated: a stale job handle whose session was hibernated or
+	// reaped; re-resolve through Manager.Get.
+	ErrHibernated = errors.New("serve: session hibernated; re-fetch it")
+)
+
+// ThrottledError reports admission-gate rejection with a backoff hint.
+type ThrottledError struct {
+	// RetryAfter estimates when a token will be available.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("serve: submission rate limited, retry after %s", e.RetryAfter.Round(time.Millisecond))
+}
+
+// errFull reports a registry at capacity with nothing hibernatable.
+var errFull = errors.New("serve: session limit reached")
 
 // Metrics is a point-in-time snapshot of the manager's counters.
 type Metrics struct {
 	// Submissions counts every Submit and Restore call accepted.
 	Submissions uint64 `json:"submissions"`
 	// SimRuns counts jobs whose engine was actually built and run
-	// (dedupe misses plus restores; failed builds excluded): the number
-	// the result cache is measured against.
+	// (dedupe misses plus restores, recoveries, and revivals; failed
+	// builds excluded): the number the result cache is measured against.
 	SimRuns uint64 `json:"sim_runs"`
 	// DedupeHits counts submissions answered by an existing job.
 	DedupeHits uint64 `json:"dedupe_hits"`
-	// Completed and Failed count terminal transitions.
+	// Completed and Failed count terminal transitions; Panics the subset
+	// of failures that were recovered runner panics.
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
-	// Sessions is the registry size; ActiveRunners the jobs currently
-	// holding or awaiting a pool slot.
+	Panics    uint64 `json:"panics,omitempty"`
+	// Throttled counts submissions rejected by the admission gate.
+	Throttled uint64 `json:"throttled,omitempty"`
+	// Checkpoint/recovery/eviction counters.
+	Checkpoints      uint64 `json:"checkpoints,omitempty"`
+	CheckpointErrors uint64 `json:"checkpoint_errors,omitempty"`
+	Recovered        uint64 `json:"recovered,omitempty"`
+	Hibernated       uint64 `json:"hibernated,omitempty"`
+	Revived          uint64 `json:"revived,omitempty"`
+	Reaped           uint64 `json:"reaped,omitempty"`
+	// Sessions is the resident registry size; ActiveRunners the jobs
+	// currently holding or awaiting a pool slot.
 	Sessions      int `json:"sessions"`
 	ActiveRunners int `json:"active_runners"`
+}
+
+// Readiness is the load-balancer view of the manager's capacity.
+type Readiness struct {
+	// Ready: accepting work (not draining, registry below cap, admission
+	// gate open). Saturation of the slot pool alone does not flip Ready —
+	// runs queue — but it is reported so balancers can weigh replicas.
+	Ready bool `json:"ready"`
+	// Draining: Shutdown/Close has begun.
+	Draining bool `json:"draining"`
+	// SlotsInUse / Slots describe step-pool saturation.
+	SlotsInUse int `json:"slots_in_use"`
+	Slots      int `json:"slots"`
+	// Sessions / MaxSessions describe registry pressure.
+	Sessions    int `json:"sessions"`
+	MaxSessions int `json:"max_sessions"`
+	// AdmissionOpen: the token bucket has a token (always true without a
+	// gate).
+	AdmissionOpen bool `json:"admission_open"`
 }
 
 // JobInfo is the JSON view of one job.
@@ -126,53 +248,106 @@ type JobInfo struct {
 // Manager multiplexes sessions; create with NewManager. Safe for
 // concurrent use.
 type Manager struct {
-	cfg   Config
-	slots chan struct{}
+	cfg    Config
+	slots  chan struct{}
+	store  CheckpointStore
+	faults *fault.Set
+	gate   *tokenBucket
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	byKey  map[string]*Job // dedupe cache: spec hash + target → job
-	nextID uint64
-	closed bool
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	byKey      map[string]*Job // dedupe cache: spec hash + target → job
+	hibernated map[string]bool // ids spilled to the store, revivable by Get
+	nextID     uint64
+	closed     bool
+
+	// shutdownCh is closed when draining begins: runners blocked on slot
+	// acquisition and SSE streams select on it.
+	shutdownCh chan struct{}
+	// runners tracks live runner goroutines so Shutdown can wait for the
+	// pool to quiesce before checkpointing.
+	runners sync.WaitGroup
+	// janitorStop ends the GC goroutine (nil when no janitor runs).
+	janitorStop chan struct{}
 
 	submissions, simRuns, dedupeHits atomic.Uint64
-	completed, failed                atomic.Uint64
+	completed, failed, panics        atomic.Uint64
+	throttled                        atomic.Uint64
+	checkpoints, ckptErrors          atomic.Uint64
+	recovered, hibernations          atomic.Uint64
+	revivals, reaps                  atomic.Uint64
 	active                           atomic.Int64
 }
 
-// NewManager builds a manager with cfg's pool bounds.
+// NewManager builds a manager with cfg's pool bounds and failure model.
 func NewManager(cfg Config) *Manager {
+	raw := cfg
 	cfg = cfg.withDefaults()
-	return &Manager{
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.MaxConcurrent),
-		jobs:  make(map[string]*Job),
-		byKey: make(map[string]*Job),
+	m := &Manager{
+		cfg:        cfg,
+		slots:      make(chan struct{}, cfg.MaxConcurrent),
+		store:      cfg.Store,
+		faults:     cfg.Faults,
+		jobs:       make(map[string]*Job),
+		byKey:      make(map[string]*Job),
+		hibernated: make(map[string]bool),
+		shutdownCh: make(chan struct{}),
 	}
+	if cfg.SubmitRate > 0 {
+		m.gate = newTokenBucket(cfg.SubmitRate, cfg.SubmitBurst)
+	}
+	// The janitor only runs when it has work: TTL reaping or a residency
+	// watermark below the registry cap.
+	if cfg.SessionTTL > 0 || (m.store != nil && raw.MaxResident > 0) {
+		m.janitorStop = make(chan struct{})
+		go m.janitor()
+	}
+	return m
 }
 
-// Job is one managed session. All fields behind mu; the runner goroutine
-// and the transport handlers synchronize only through it.
+// Job is one managed session. Mutable fields behind mu; the runner
+// goroutine and the transport handlers synchronize only through it.
 type Job struct {
 	m *Manager
 
 	// Immutable after creation.
 	id       string
 	spec     popstab.Spec
-	key      string // dedupe key; empty for restored jobs
-	snapshot []byte // restore source; nil for fresh jobs
-	target   uint64 // total rounds requested so far
+	key      string // dedupe key at registration; "" when never cached
+	restored bool   // built from a snapshot (restore, recovery, revival)
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	sess    *popstab.Session
-	status  Status
-	err     error
-	stats   popstab.SessionStats
-	pending uint64 // rounds not yet run
-	paused  bool
-	subs    map[uint64]chan popstab.SessionStats
-	nextSub uint64
+	// lastTouch (unix nanos) orders hibernation/reaping candidates without
+	// taking j.mu.
+	lastTouch atomic.Int64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sess     *popstab.Session
+	snapshot []byte // restore source; nil for fresh jobs, consumed by build
+	status   Status
+	err      error
+	stats    popstab.SessionStats
+	target   uint64 // total rounds requested so far
+	pending  uint64 // rounds not yet run
+	paused   bool
+	// stepping: the runner is inside a step quantum with j.mu released;
+	// snapshot/hibernation wait for it to clear (cond-signaled).
+	stepping bool
+	// snapshotters counts Snapshot calls waiting for the quantum to park.
+	// The runner yields between quanta while it is nonzero — without the
+	// yield a waiter woken by the end-of-quantum broadcast races the
+	// runner's immediate re-lock and loses essentially every time,
+	// livelocking the snapshot until the job finishes.
+	snapshotters int
+	// parted: hibernated or reaped — no longer resident; the runner exits
+	// and stale handles error with ErrHibernated.
+	parted bool
+	// sinceCkpt counts rounds since the last durable checkpoint.
+	sinceCkpt uint64
+	// countedDone suppresses double-counting Completed across revivals.
+	countedDone bool
+	subs        map[uint64]chan popstab.SessionStats
+	nextSub     uint64
 
 	// done is closed on the FIRST arrival at StatusDone (or StatusFailed)
 	// and stays closed: the completion signal batch clients wait on.
@@ -180,10 +355,13 @@ type Job struct {
 	doneOnce sync.Once
 }
 
+// touch records an access for LRU ordering.
+func (j *Job) touch() { j.lastTouch.Store(time.Now().UnixNano()) }
+
 // evict removes the job from the dedupe cache so future identical
-// submissions start a fresh run (no-op for restored jobs, which were never
-// cached). j.key is immutable and j.mu is NOT held here, so the only
-// nested lock order in the package remains j.mu → m.mu (isClosed).
+// submissions start a fresh run (no-op for never-cached jobs). j.key is
+// immutable and j.mu is NOT held here; the only nested lock order in the
+// package remains j.mu → m.mu.
 func (j *Job) evict() {
 	if j.key == "" {
 		return
@@ -195,6 +373,17 @@ func (j *Job) evict() {
 	j.m.mu.Unlock()
 }
 
+// cachedLocked reports whether j currently answers for its dedupe key.
+// Caller may hold j.mu (j.mu → m.mu is the sanctioned order).
+func (m *Manager) cachedLocked(j *Job) bool {
+	if j.key == "" {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byKey[j.key] == j
+}
+
 // jobKey is the dedupe identity of a fresh submission.
 func jobKey(hash string, rounds uint64) string {
 	return fmt.Sprintf("%s/%d", hash, rounds)
@@ -203,52 +392,90 @@ func jobKey(hash string, rounds uint64) string {
 // Submit registers (or dedupes) a job that runs spec for rounds rounds.
 // rounds = 0 opens an idle session for manual stepping. The returned bool
 // reports a dedupe hit: the job was already running or complete and the
-// caller attached to it.
-func (m *Manager) Submit(spec popstab.Spec, rounds uint64) (*Job, bool, error) {
+// caller attached to it. Non-deduped submissions pass the admission gate
+// (*ThrottledError on rejection) and, at registry capacity with a Store,
+// may hibernate an idle session to make room.
+func (m *Manager) Submit(ctx context.Context, spec popstab.Spec, rounds uint64) (*Job, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	hash, err := spec.Hash()
 	if err != nil {
 		return nil, false, err
 	}
 	key := jobKey(hash, rounds)
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, false, errors.New("serve: manager closed")
+	for attempt := 0; ; attempt++ {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, false, ErrClosed
+		}
+		if j, ok := m.byKey[key]; ok {
+			m.submissions.Add(1)
+			m.dedupeHits.Add(1)
+			m.mu.Unlock()
+			j.touch()
+			return j, true, nil
+		}
+		if len(m.jobs) >= m.cfg.MaxSessions {
+			m.mu.Unlock()
+			// Capacity pressure: spill the least-recently-touched idle
+			// session to the store and retry once.
+			if attempt == 0 && m.hibernateOne() {
+				continue
+			}
+			return nil, false, fmt.Errorf("%w (%d)", errFull, m.cfg.MaxSessions)
+		}
+		if retry, ok := m.admitLocked(); !ok {
+			m.mu.Unlock()
+			m.throttled.Add(1)
+			return nil, false, &ThrottledError{RetryAfter: retry}
+		}
+		j := m.newJobLocked(spec, rounds, nil, key)
+		m.byKey[key] = j
+		m.mu.Unlock()
+		return j, false, nil
 	}
-	if j, ok := m.byKey[key]; ok {
-		m.submissions.Add(1)
-		m.dedupeHits.Add(1)
-		return j, true, nil
+}
+
+// admitLocked consults the admission gate (caller holds m.mu).
+func (m *Manager) admitLocked() (time.Duration, bool) {
+	if m.gate == nil {
+		return 0, true
 	}
-	j, err := m.newJobLocked(spec, rounds, nil, key)
-	if err != nil {
-		return nil, false, err
-	}
-	m.byKey[key] = j
-	return j, false, nil
+	return m.gate.admit(time.Now())
 }
 
 // Restore registers a job that resumes the given session snapshot under
 // spec and then runs rounds more rounds. Restored jobs bypass the dedupe
-// cache (their state is not derivable from the spec alone).
-func (m *Manager) Restore(spec popstab.Spec, snapshot []byte, rounds uint64) (*Job, error) {
+// cache (their state is not derivable from the spec alone) but not the
+// admission gate.
+func (m *Manager) Restore(ctx context.Context, spec popstab.Spec, snapshot []byte, rounds uint64) (*Job, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(snapshot) == 0 {
 		return nil, errors.New("serve: empty snapshot")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, errors.New("serve: manager closed")
+		return nil, ErrClosed
 	}
-	return m.newJobLocked(spec, rounds, snapshot, "")
+	if len(m.jobs) >= m.cfg.MaxSessions {
+		return nil, fmt.Errorf("%w (%d)", errFull, m.cfg.MaxSessions)
+	}
+	if retry, ok := m.admitLocked(); !ok {
+		m.throttled.Add(1)
+		return nil, &ThrottledError{RetryAfter: retry}
+	}
+	return m.newJobLocked(spec, rounds, snapshot, ""), nil
 }
 
-// newJobLocked allocates, registers, and starts a job. Caller holds m.mu.
-func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte, key string) (*Job, error) {
-	if len(m.jobs) >= m.cfg.MaxSessions {
-		return nil, fmt.Errorf("serve: session limit %d reached", m.cfg.MaxSessions)
-	}
+// newJobLocked allocates, registers, and starts a job. Caller holds m.mu
+// and has verified capacity.
+func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte, key string) *Job {
 	// Sessions inherit the manager's worker setting unless the spec pins
 	// its own; either way the trajectory is identical.
 	if spec.Workers == 0 {
@@ -260,6 +487,7 @@ func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte
 		id:       fmt.Sprintf("s-%06d", m.nextID),
 		spec:     spec,
 		key:      key,
+		restored: snapshot != nil,
 		snapshot: snapshot,
 		target:   rounds,
 		status:   StatusQueued,
@@ -268,21 +496,32 @@ func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte
 		done:     make(chan struct{}),
 	}
 	j.cond = sync.NewCond(&j.mu)
+	j.touch()
 	m.jobs[j.id] = j
 	m.submissions.Add(1)
+	m.runners.Add(1)
 	go j.run()
-	return j, nil
+	return j
 }
 
-// Get looks a job up by ID.
+// Get looks a job up by ID, transparently reviving a hibernated one from
+// the checkpoint store.
 func (m *Manager) Get(id string) (*Job, bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	return j, ok
+	hib := !ok && m.hibernated[id]
+	m.mu.Unlock()
+	if ok {
+		j.touch()
+		return j, true
+	}
+	if !hib || m.store == nil {
+		return nil, false
+	}
+	return m.revive(id)
 }
 
-// List returns every job's info, ordered by ID.
+// List returns every resident job's info, ordered by ID.
 func (m *Manager) List() []JobInfo {
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
@@ -309,54 +548,137 @@ func (m *Manager) Metrics() Metrics {
 	sessions := len(m.jobs)
 	m.mu.Unlock()
 	return Metrics{
-		Submissions:   m.submissions.Load(),
-		SimRuns:       m.simRuns.Load(),
-		DedupeHits:    m.dedupeHits.Load(),
-		Completed:     m.completed.Load(),
-		Failed:        m.failed.Load(),
-		Sessions:      sessions,
-		ActiveRunners: int(m.active.Load()),
+		Submissions:      m.submissions.Load(),
+		SimRuns:          m.simRuns.Load(),
+		DedupeHits:       m.dedupeHits.Load(),
+		Completed:        m.completed.Load(),
+		Failed:           m.failed.Load(),
+		Panics:           m.panics.Load(),
+		Throttled:        m.throttled.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		CheckpointErrors: m.ckptErrors.Load(),
+		Recovered:        m.recovered.Load(),
+		Hibernated:       m.hibernations.Load(),
+		Revived:          m.revivals.Load(),
+		Reaped:           m.reaps.Load(),
+		Sessions:         sessions,
+		ActiveRunners:    int(m.active.Load()),
 	}
 }
 
-// Close stops accepting submissions and wakes every runner to exit. Jobs
-// park where they are; in-flight quanta finish.
-func (m *Manager) Close() {
+// Readiness reports capacity for load balancers (the /readyz payload).
+func (m *Manager) Readiness() Readiness {
 	m.mu.Lock()
+	sessions := len(m.jobs)
+	closed := m.closed
+	m.mu.Unlock()
+	open := m.gate == nil || m.gate.open(time.Now())
+	return Readiness{
+		Ready:         !closed && sessions < m.cfg.MaxSessions && open,
+		Draining:      closed,
+		SlotsInUse:    len(m.slots),
+		Slots:         m.cfg.MaxConcurrent,
+		Sessions:      sessions,
+		MaxSessions:   m.cfg.MaxSessions,
+		AdmissionOpen: open,
+	}
+}
+
+// ShuttingDown is closed when draining begins; long-lived handlers (SSE
+// streams) select on it so http.Server.Shutdown can complete.
+func (m *Manager) ShuttingDown() <-chan struct{} { return m.shutdownCh }
+
+// Close drains with no deadline: stop admissions, wake and wait out every
+// runner, checkpoint live sessions. Equivalent to Shutdown(Background).
+func (m *Manager) Close() { _ = m.Shutdown(context.Background()) }
+
+// Shutdown drains gracefully: stop admissions, wake every runner and wait
+// for in-flight quanta to park (runners exit within one quantum), then
+// write a final checkpoint for every live session so a restarted manager
+// can Recover them. Returns ctx.Err if the pool does not quiesce in time
+// (sessions then checkpoint at their last cadence point instead).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	first := !m.closed
 	m.closed = true
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
 	}
 	m.mu.Unlock()
+	if first {
+		close(m.shutdownCh)
+		if m.janitorStop != nil {
+			close(m.janitorStop)
+		}
+	}
 	for _, j := range jobs {
 		j.mu.Lock()
 		j.cond.Broadcast()
 		j.mu.Unlock()
 	}
+	quiesced := make(chan struct{})
+	go func() {
+		m.runners.Wait()
+		close(quiesced)
+	}()
+	select {
+	case <-quiesced:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if m.store != nil {
+		for _, j := range jobs {
+			j.checkpointNow()
+		}
+	}
+	return nil
+}
+
+// isClosed reports manager shutdown.
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// acquireSlot blocks for a pool slot, aborting on drain. The active gauge
+// covers the wait (ActiveRunners = holding or awaiting).
+func (m *Manager) acquireSlot() bool {
+	m.active.Add(1)
+	select {
+	case m.slots <- struct{}{}:
+		return true
+	case <-m.shutdownCh:
+		m.active.Add(-1)
+		return false
+	}
+}
+
+// releaseSlot returns a slot acquired by acquireSlot.
+func (m *Manager) releaseSlot() {
+	<-m.slots
+	m.active.Add(-1)
 }
 
 // run is the job's runner goroutine: build (or restore) the session, then
 // alternate between waiting for work and stepping one quantum under a pool
-// slot.
+// slot. Panics in build or step are isolated into StatusFailed; the pool
+// slot is provably returned (release is deferred around the recovering
+// step call).
 func (j *Job) run() {
-	var (
-		sess *popstab.Session
-		err  error
-	)
-	if j.snapshot != nil {
-		sess, err = popstab.RestoreSessionFromSpec(j.spec, j.snapshot)
-	} else {
-		sess, err = popstab.NewSessionFromSpec(j.spec)
-	}
+	defer j.m.runners.Done()
+	sess, err := j.buildSession()
 	j.mu.Lock()
 	if err != nil {
 		j.failLocked(err)
 		j.mu.Unlock()
 		// A failed build must not keep answering for its (hash, rounds)
 		// identity: evict so a retry runs instead of deduping onto the
-		// corpse.
+		// corpse, and drop any checkpoint so recovery does not resurrect
+		// the poison.
 		j.evict()
+		j.dropCheckpoint()
 		return
 	}
 	// Counted here, after the constructor succeeded: SimRuns is "engines
@@ -371,7 +693,7 @@ func (j *Job) run() {
 	for {
 		j.mu.Lock()
 		for j.pending == 0 || j.paused {
-			if j.m.isClosed() {
+			if j.m.isClosed() || j.parted {
 				j.mu.Unlock()
 				return
 			}
@@ -382,7 +704,7 @@ func (j *Job) run() {
 			}
 			j.cond.Wait()
 		}
-		if j.m.isClosed() {
+		if j.m.isClosed() || j.parted {
 			j.mu.Unlock()
 			return
 		}
@@ -393,45 +715,260 @@ func (j *Job) run() {
 		j.status = StatusRunning
 		j.mu.Unlock()
 
-		// Acquire the pool slot outside the job lock so control calls
-		// (pause, snapshot of the pre-quantum state) stay responsive
-		// while the pool is saturated.
-		j.m.active.Add(1)
-		j.m.slots <- struct{}{}
-
+		// Yield to queued snapshotters before entering the next quantum:
+		// they hold priority, otherwise the runner's immediate re-lock
+		// wins the wakeup race every time and a waiter starves for the
+		// rest of the run.
 		j.mu.Lock()
-		stats := j.sess.Step(int(n))
-		j.pending -= n
-		j.stats = stats
-		j.publishLocked(stats)
-		if j.pending == 0 && !j.paused {
-			j.finishLocked()
+		for j.snapshotters > 0 && !j.parted && !j.m.isClosed() {
+			j.cond.Wait()
+		}
+		if j.m.isClosed() || j.parted {
+			j.mu.Unlock()
+			return
 		}
 		j.mu.Unlock()
 
-		<-j.m.slots
-		j.m.active.Add(-1)
+		// Acquire the pool slot outside the job lock so control calls
+		// (pause, snapshot of the pre-quantum state) stay responsive
+		// while the pool is saturated; abort cleanly on drain.
+		if !j.m.acquireSlot() {
+			return
+		}
+		j.mu.Lock()
+		j.stepping = true
+		j.mu.Unlock()
+
+		stats, err := j.step(sess, n) // recovers panics; releases nothing
+
+		j.mu.Lock()
+		j.stepping = false
+		if err != nil {
+			j.failLocked(err)
+			j.cond.Broadcast()
+			j.mu.Unlock()
+			j.m.releaseSlot()
+			j.evict()
+			j.dropCheckpoint()
+			return
+		}
+		j.pending -= n
+		j.sinceCkpt += n
+		j.stats = stats
+		j.publishLocked(stats)
+		finished := j.pending == 0 && !j.paused
+		if finished {
+			j.finishLocked()
+		}
+		needCkpt := j.m.store != nil &&
+			(j.sinceCkpt >= uint64(j.m.cfg.CheckpointEvery) || finished)
+		j.cond.Broadcast()
+		j.mu.Unlock()
+		j.m.releaseSlot()
+
+		if needCkpt {
+			j.checkpointNow()
+		}
 	}
 }
 
-// isClosed reports manager shutdown.
-func (m *Manager) isClosed() bool {
+// buildSession constructs or restores the session, converting panics in
+// the engine constructors into errors.
+func (j *Job) buildSession() (sess *popstab.Session, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.m.panics.Add(1)
+			err = fmt.Errorf("serve: session build panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if j.snapshot != nil {
+		return popstab.RestoreSessionFromSpec(j.spec, j.snapshot)
+	}
+	return popstab.NewSessionFromSpec(j.spec)
+}
+
+// step advances one quantum with panic isolation: a panic (organic or
+// injected via fault.RunnerPanic) is recovered into an error carrying the
+// stack, so the caller always regains control — and with it the pool slot.
+func (j *Job) step(sess *popstab.Session, n uint64) (stats popstab.SessionStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.m.panics.Add(1)
+			err = fmt.Errorf("serve: runner panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	// Latency injection (armed with a delay, no error) and failure
+	// injection share the SlowStep/RunnerPanic consultation points.
+	if ferr := j.m.faults.Fire(fault.SlowStep); ferr != nil {
+		return stats, ferr
+	}
+	if ferr := j.m.faults.Fire(fault.RunnerPanic); ferr != nil {
+		panic(ferr)
+	}
+	return sess.Step(int(n)), nil
+}
+
+// checkpointNow captures and durably writes the job's checkpoint. Called
+// by the runner between quanta, by Shutdown after the pool quiesced, and
+// by hibernation — never concurrently with a step (stepping is false under
+// j.mu in all three). Write failures are counted, not fatal: the previous
+// checkpoint remains intact (FSStore renames atomically), so recovery
+// degrades to an older bit-identical resume point.
+func (j *Job) checkpointNow() {
+	if j.m.store == nil {
+		return
+	}
+	if err := j.m.faults.Fire(fault.SnapshotEncode); err != nil {
+		j.m.ckptErrors.Add(1)
+		return
+	}
+	j.mu.Lock()
+	if j.sess == nil || j.status == StatusFailed || j.parted {
+		j.mu.Unlock()
+		return
+	}
+	cp := Checkpoint{
+		ID:       j.id,
+		Spec:     j.spec,
+		Target:   j.target,
+		Pending:  j.pending,
+		Paused:   j.paused,
+		Dedupe:   j.m.cachedLocked(j),
+		Snapshot: j.sess.Snapshot(),
+	}
+	j.sinceCkpt = 0
+	j.mu.Unlock()
+	if err := j.m.store.Put(cp); err != nil {
+		j.m.ckptErrors.Add(1)
+		return
+	}
+	j.m.checkpoints.Add(1)
+}
+
+// dropCheckpoint removes the job's durable record (failed jobs are
+// terminal; a retry is a fresh submission, not a resurrection).
+func (j *Job) dropCheckpoint() {
+	if j.m.store != nil {
+		_ = j.m.store.Delete(j.id)
+	}
+}
+
+// Recover re-registers every checkpointed job from the store and resumes
+// its outstanding rounds: the startup half of crash safety. Jobs that held
+// their dedupe identity at checkpoint time rejoin the cache. Returns the
+// number of jobs recovered.
+func (m *Manager) Recover() (int, error) {
+	if m.store == nil {
+		return 0, errors.New("serve: no checkpoint store configured")
+	}
+	cps, err := m.store.List()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.closed
+	for _, cp := range cps {
+		if m.closed {
+			break
+		}
+		if _, ok := m.jobs[cp.ID]; ok {
+			continue
+		}
+		m.registerCheckpointLocked(cp)
+		n++
+	}
+	m.mu.Unlock()
+	m.recovered.Add(uint64(n))
+	return n, nil
+}
+
+// revive rebuilds one hibernated job from the store on access.
+func (m *Manager) revive(id string) (*Job, bool) {
+	cp, ok, err := m.store.Get(id)
+	if err != nil || !ok {
+		return nil, false
+	}
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok { // racing revival won
+		m.mu.Unlock()
+		j.touch()
+		return j, true
+	}
+	if m.closed {
+		m.mu.Unlock()
+		return nil, false
+	}
+	j := m.registerCheckpointLocked(cp)
+	m.mu.Unlock()
+	m.revivals.Add(1)
+	return j, true
+}
+
+// registerCheckpointLocked builds a job from a checkpoint under its
+// original ID and starts its runner. Caller holds m.mu. Workers is a
+// serving-layer throughput knob excluded from the simulation's identity,
+// so the recovering manager imposes its own setting — recovery routinely
+// crosses worker counts at the kill boundary and the continuation is
+// bit-identical regardless.
+func (m *Manager) registerCheckpointLocked(cp Checkpoint) *Job {
+	spec := cp.Spec
+	spec.Workers = m.cfg.SessionWorkers
+	j := &Job{
+		m:        m,
+		id:       cp.ID,
+		spec:     spec,
+		restored: true,
+		snapshot: cp.Snapshot,
+		target:   cp.Target,
+		status:   StatusQueued,
+		pending:  cp.Pending,
+		paused:   cp.Paused,
+		// Already-terminal checkpoints re-finish without re-counting.
+		countedDone: cp.Pending == 0,
+		subs:        make(map[uint64]chan popstab.SessionStats),
+		done:        make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.touch()
+	if cp.Dedupe {
+		if hash, err := cp.Spec.Hash(); err == nil {
+			key := jobKey(hash, cp.Target)
+			if m.byKey[key] == nil {
+				j.key = key
+				m.byKey[key] = j
+			}
+		}
+	}
+	m.jobs[j.id] = j
+	delete(m.hibernated, j.id)
+	// Keep fresh IDs ahead of every recovered one.
+	var seq uint64
+	if _, err := fmt.Sscanf(cp.ID, "s-%d", &seq); err == nil && seq > m.nextID {
+		m.nextID = seq
+	}
+	m.runners.Add(1)
+	go j.run()
+	return j
 }
 
 // finishLocked marks the job done (idempotent) and signals completion.
+// Completion counts as a touch: the TTL clock starts when the run settles,
+// not when it was submitted.
 func (j *Job) finishLocked() {
+	j.touch()
 	if j.status != StatusDone {
 		j.status = StatusDone
-		j.m.completed.Add(1)
+		if !j.countedDone {
+			j.countedDone = true
+			j.m.completed.Add(1)
+		}
 	}
 	j.doneOnce.Do(func() { close(j.done) })
 }
 
 // failLocked marks the job failed and signals completion.
 func (j *Job) failLocked(err error) {
+	j.touch()
 	j.status = StatusFailed
 	j.err = err
 	j.m.failed.Add(1)
@@ -458,6 +995,7 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Info snapshots the job's state.
 func (j *Job) Info() JobInfo {
+	j.touch()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{
@@ -465,7 +1003,7 @@ func (j *Job) Info() JobInfo {
 		Status:       j.status,
 		Spec:         j.spec,
 		TargetRounds: j.target,
-		Restored:     j.key == "",
+		Restored:     j.restored,
 		Stats:        j.stats,
 	}
 	if j.err != nil {
@@ -483,9 +1021,13 @@ func (j *Job) Step(n uint64) error {
 	if n == 0 {
 		return errors.New("serve: step of 0 rounds")
 	}
+	j.touch()
 	j.evict()
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.parted {
+		return ErrHibernated
+	}
 	if j.status == StatusFailed {
 		return fmt.Errorf("serve: session failed: %w", j.err)
 	}
@@ -500,8 +1042,12 @@ func (j *Job) Step(n uint64) error {
 
 // Pause parks the job after at most one quantum.
 func (j *Job) Pause() error {
+	j.touch()
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.parted {
+		return ErrHibernated
+	}
 	if j.status == StatusFailed {
 		return fmt.Errorf("serve: session failed: %w", j.err)
 	}
@@ -511,8 +1057,12 @@ func (j *Job) Pause() error {
 
 // Resume unparks a paused job.
 func (j *Job) Resume() error {
+	j.touch()
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.parted {
+		return ErrHibernated
+	}
 	if j.status == StatusFailed {
 		return fmt.Errorf("serve: session failed: %w", j.err)
 	}
@@ -521,11 +1071,39 @@ func (j *Job) Resume() error {
 	return nil
 }
 
-// Snapshot serializes the session at a between-rounds boundary (it waits
-// for any in-flight quantum) along with the spec needed to restore it.
-func (j *Job) Snapshot() (popstab.Spec, []byte, error) {
+// Snapshot serializes the session at a between-rounds boundary, waiting —
+// under the caller's deadline — for any in-flight quantum to park, along
+// with the spec needed to restore it.
+func (j *Job) Snapshot(ctx context.Context) (popstab.Spec, []byte, error) {
+	j.touch()
+	// cond.Wait cannot select on ctx; a ctx-expiry callback broadcasts so
+	// the wait loop re-checks ctx.Err.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	// Register as a waiter: the runner yields between quanta while
+	// snapshotters is nonzero (see Job.run), so this wait is bounded by
+	// one quantum, not by the whole run. LIFO defers: the decrement runs
+	// before the mutex is released.
+	j.snapshotters++
+	defer func() {
+		j.snapshotters--
+		j.cond.Broadcast()
+	}()
+	for j.stepping {
+		if err := ctx.Err(); err != nil {
+			return popstab.Spec{}, nil, err
+		}
+		j.cond.Wait()
+	}
+	if j.parted {
+		return popstab.Spec{}, nil, ErrHibernated
+	}
 	if j.status == StatusFailed {
 		return popstab.Spec{}, nil, fmt.Errorf("serve: session failed: %w", j.err)
 	}
@@ -556,4 +1134,49 @@ func (j *Job) Subscribe(buffer int) (<-chan popstab.SessionStats, func()) {
 		}
 		j.mu.Unlock()
 	}
+}
+
+// tokenBucket is the admission gate: rate tokens/second up to burst.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket starts full.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst <= 0 {
+		burst = int(math.Max(1, math.Ceil(rate)))
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// refillLocked advances the bucket to now.
+func (b *tokenBucket) refillLocked(now time.Time) {
+	if now.After(b.last) {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+		b.last = now
+	}
+}
+
+// admit consumes one token, or reports how long until one accrues.
+func (b *tokenBucket) admit(now time.Time) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second)), false
+}
+
+// open reports token availability without consuming (the readiness probe).
+func (b *tokenBucket) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens >= 1
 }

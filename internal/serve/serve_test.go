@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -33,7 +34,7 @@ func waitDone(t *testing.T, j *Job) {
 func TestManagerRunsToCompletion(t *testing.T) {
 	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 32})
 	defer m.Close()
-	j, deduped, err := m.Submit(quickSpec(1), 100)
+	j, deduped, err := m.Submit(context.Background(), quickSpec(1), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,14 +57,14 @@ func TestManagerRunsToCompletion(t *testing.T) {
 func TestManagerDedupe(t *testing.T) {
 	m := NewManager(Config{MaxConcurrent: 2})
 	defer m.Close()
-	a, _, err := m.Submit(quickSpec(2), 50)
+	a, _, err := m.Submit(context.Background(), quickSpec(2), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Identical spec, different Workers: same simulation, must dedupe.
 	spec := quickSpec(2)
 	spec.Workers = 4
-	b, deduped, err := m.Submit(spec, 50)
+	b, deduped, err := m.Submit(context.Background(), spec, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestManagerDedupe(t *testing.T) {
 		t.Fatalf("identical submission not deduped (a=%s b=%s deduped=%v)", a.ID(), b.ID(), deduped)
 	}
 	// Different target rounds: a different job.
-	c, deduped, err := m.Submit(quickSpec(2), 60)
+	c, deduped, err := m.Submit(context.Background(), quickSpec(2), 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestManagerDedupe(t *testing.T) {
 	}
 	// A completed job keeps serving as the result cache.
 	waitDone(t, a)
-	d, deduped, err := m.Submit(quickSpec(2), 50)
+	d, deduped, err := m.Submit(context.Background(), quickSpec(2), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestManagerDedupe(t *testing.T) {
 func TestManagerPauseResumeStep(t *testing.T) {
 	m := NewManager(Config{MaxConcurrent: 1, StepQuantum: 16})
 	defer m.Close()
-	j, _, err := m.Submit(quickSpec(3), 0) // idle session, manual stepping
+	j, _, err := m.Submit(context.Background(), quickSpec(3), 0) // idle session, manual stepping
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func eventually(cond func() bool) bool {
 func TestStepEvictsDedupeEntry(t *testing.T) {
 	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 16})
 	defer m.Close()
-	a, _, err := m.Submit(quickSpec(30), 32)
+	a, _, err := m.Submit(context.Background(), quickSpec(30), 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestStepEvictsDedupeEntry(t *testing.T) {
 	if err := a.Step(16); err != nil { // a now diverges from (hash, 32)
 		t.Fatal(err)
 	}
-	b, deduped, err := m.Submit(quickSpec(30), 32)
+	b, deduped, err := m.Submit(context.Background(), quickSpec(30), 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestFailedBuildNotCountedOrCached(t *testing.T) {
 	// Hashes fine (registry names resolve) but the constructor rejects it:
 	// DaughterSpread requires a spatial topology.
 	bad := popstab.Spec{N: 4096, Tinner: 24, Seed: 31, DaughterSpread: 2}
-	j, _, err := m.Submit(bad, 10)
+	j, _, err := m.Submit(context.Background(), bad, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestFailedBuildNotCountedOrCached(t *testing.T) {
 		t.Errorf("failed build counted as %d sim runs", runs)
 	}
 	// The retry must be a fresh job, not the failed one.
-	j2, deduped, err := m.Submit(bad, 10)
+	j2, deduped, err := m.Submit(context.Background(), bad, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestManagerConcurrentSessions(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			j, _, err := m.Submit(quickSpec(uint64(c%distinct)), rounds)
+			j, _, err := m.Submit(context.Background(), quickSpec(uint64(c%distinct)), rounds)
 			if err != nil {
 				errs[c] = err
 				return
@@ -498,14 +499,14 @@ func TestHTTPErrors(t *testing.T) {
 func TestSessionLimit(t *testing.T) {
 	m := NewManager(Config{MaxSessions: 1})
 	defer m.Close()
-	if _, _, err := m.Submit(quickSpec(20), 1); err != nil {
+	if _, _, err := m.Submit(context.Background(), quickSpec(20), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Submit(quickSpec(21), 1); err == nil {
+	if _, _, err := m.Submit(context.Background(), quickSpec(21), 1); err == nil {
 		t.Fatal("second session admitted past MaxSessions=1")
 	}
 	// A deduped submission is not a new session and must still succeed.
-	if _, deduped, err := m.Submit(quickSpec(20), 1); err != nil || !deduped {
+	if _, deduped, err := m.Submit(context.Background(), quickSpec(20), 1); err != nil || !deduped {
 		t.Fatalf("dedupe past the limit: deduped=%v err=%v", deduped, err)
 	}
 }
