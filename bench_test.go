@@ -14,9 +14,14 @@ import (
 	"testing"
 
 	"popstab"
+	"popstab/internal/agent"
 	"popstab/internal/match"
+	"popstab/internal/params"
+	"popstab/internal/pool"
 	"popstab/internal/population"
 	"popstab/internal/prng"
+	"popstab/internal/sim"
+	"popstab/internal/wire"
 )
 
 // benchExperiment runs one suite experiment per iteration.
@@ -75,34 +80,50 @@ func BenchmarkA8Topology(b *testing.B)        { benchExperiment(b, "A8") }
 // variants pin the serial path so the parallel speedup is
 // agentsteps/s(default) / agentsteps/s(Workers1) on a multi-core machine.
 
-func benchRounds(b *testing.B, n, workers int) {
+func benchRounds(b *testing.B, n, workers int, topo popstab.Topology) {
 	b.Helper()
-	sim, err := popstab.New(popstab.Config{N: n, Tinner: 2 * logOf(n), Seed: 1, Workers: workers})
+	s, err := popstab.New(popstab.Config{
+		N: n, Tinner: 2 * logOf(n), Seed: 1, Workers: workers, Topology: topo,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer s.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	steps := 0
 	for i := 0; i < b.N; i++ {
-		sim.RunRound()
-		steps += sim.Size()
+		s.RunRound()
+		steps += s.Size()
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(steps)/float64(b.N), "agents/round")
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(steps)/sec, "agentsteps/s")
 	}
 }
 
-func BenchmarkRoundN4096(b *testing.B)   { benchRounds(b, 4096, 0) }
-func BenchmarkRoundN16384(b *testing.B)  { benchRounds(b, 16384, 0) }
-func BenchmarkRoundN65536(b *testing.B)  { benchRounds(b, 65536, 0) }
-func BenchmarkRoundN262144(b *testing.B) { benchRounds(b, 262144, 0) }
+func BenchmarkRoundN4096(b *testing.B)   { benchRounds(b, 4096, 0, popstab.Mixed) }
+func BenchmarkRoundN16384(b *testing.B)  { benchRounds(b, 16384, 0, popstab.Mixed) }
+func BenchmarkRoundN65536(b *testing.B)  { benchRounds(b, 65536, 0, popstab.Mixed) }
+func BenchmarkRoundN262144(b *testing.B) { benchRounds(b, 262144, 0, popstab.Mixed) }
 
-func BenchmarkRoundN1048576(b *testing.B) { benchRounds(b, 1048576, 0) }
+func BenchmarkRoundN1048576(b *testing.B) { benchRounds(b, 1048576, 0, popstab.Mixed) }
 
-func BenchmarkRoundN65536Workers1(b *testing.B)   { benchRounds(b, 65536, 1) }
-func BenchmarkRoundN262144Workers1(b *testing.B)  { benchRounds(b, 262144, 1) }
-func BenchmarkRoundN1048576Workers1(b *testing.B) { benchRounds(b, 1048576, 1) }
+// N = 2²⁴: the target scale of the sharded apply/compaction work. The
+// protocol needs N a power of four (even log N, DESIGN §2), so the first
+// admissible size past 2²³ is 2²⁴ = 16777216. One round over 16M agents
+// touches hundreds of MB of agent (and, on the torus, position) state, so
+// this is a memory-bandwidth benchmark as much as a CPU one; keep b.N low
+// (-benchtime 3x) outside dedicated perf runs.
+func BenchmarkRoundN16777216(b *testing.B) { benchRounds(b, 16777216, 0, popstab.Mixed) }
+
+func BenchmarkTorusRoundN1048576(b *testing.B)  { benchRounds(b, 1048576, 0, popstab.Torus) }
+func BenchmarkTorusRoundN16777216(b *testing.B) { benchRounds(b, 16777216, 0, popstab.Torus) }
+
+func BenchmarkRoundN65536Workers1(b *testing.B)   { benchRounds(b, 65536, 1, popstab.Mixed) }
+func BenchmarkRoundN262144Workers1(b *testing.B)  { benchRounds(b, 262144, 1, popstab.Mixed) }
+func BenchmarkRoundN1048576Workers1(b *testing.B) { benchRounds(b, 1048576, 1, popstab.Mixed) }
 
 // benchTorusMatch measures the sharded spatial matching phase alone —
 // grid bucketing + candidate search + greedy walk over a static uniform
@@ -121,8 +142,13 @@ func benchTorusMatch(b *testing.B, n, workers int) {
 		workers = runtime.NumCPU()
 	}
 	tor.SetWorkers(workers)
+	pl := pool.New(workers)
+	defer pl.Close()
+	tor.SetPool(pl)
 	src := prng.New(2)
 	var p match.Pairing
+	p.SetPool(pl)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tor.SampleMatch(pop, src, &p)
@@ -134,6 +160,60 @@ func benchTorusMatch(b *testing.B, n, workers int) {
 
 func BenchmarkTorusMatchN1048576(b *testing.B)         { benchTorusMatch(b, 1048576, 0) }
 func BenchmarkTorusMatchN1048576Workers1(b *testing.B) { benchTorusMatch(b, 1048576, 1) }
+
+// churnStepper is a synthetic apply-heavy program: each agent dies with
+// probability 1/4 and splits with probability 1/4 every round, so about
+// half the population turns over per round — the worst case for the
+// sharded apply/compaction path (the real protocol churns a few percent).
+// The process is critical (E[offspring] = 1), so the size random-walks
+// around N without drifting over a benchmark's horizon.
+type churnStepper struct{}
+
+func (churnStepper) EpochLen() int              { return 1 }
+func (churnStepper) Compose(*agent.State) uint8 { return 0 }
+func (churnStepper) Decode(uint8) wire.Message  { return wire.Message{} }
+func (churnStepper) Step(_ *agent.State, _ wire.Message, _ bool, src *prng.Source) population.Action {
+	switch src.Uint64() % 4 {
+	case 0:
+		return population.ActDie
+	case 1:
+		return population.ActSplit
+	default:
+		return population.ActKeep
+	}
+}
+
+// benchChurnRounds measures a round dominated by apply/compaction: compose
+// and matching are trivial under churnStepper, so nearly all the time is
+// the prefix-sum plan over ~n/2 deaths and ~n/2 births plus the tracker
+// scatters.
+func benchChurnRounds(b *testing.B, n, workers int) {
+	b.Helper()
+	p, err := params.Derive(n, params.WithTinner(2*logOf(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.New(sim.Config{Params: p, Protocol: churnStepper{}, Seed: 1, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		eng.RunRound()
+		steps += eng.Size()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(steps)/sec, "agentsteps/s")
+	}
+}
+
+func BenchmarkChurnRoundN1048576(b *testing.B)         { benchChurnRounds(b, 1048576, 0) }
+func BenchmarkChurnRoundN1048576Workers1(b *testing.B) { benchChurnRounds(b, 1048576, 1) }
+func BenchmarkChurnRoundN16777216(b *testing.B)        { benchChurnRounds(b, 16777216, 0) }
 
 // BenchmarkEpochN4096 measures one full protocol epoch.
 func BenchmarkEpochN4096(b *testing.B) {

@@ -8,9 +8,14 @@ import (
 	"time"
 
 	"popstab"
+	"popstab/internal/agent"
 	"popstab/internal/match"
+	"popstab/internal/params"
+	"popstab/internal/pool"
 	"popstab/internal/population"
 	"popstab/internal/prng"
+	"popstab/internal/sim"
+	"popstab/internal/wire"
 )
 
 // jsonBenchmark is one throughput workload's outcome in the -json document.
@@ -27,6 +32,13 @@ type jsonBenchmark struct {
 	// compares: processed agents (stepped, or matched-over for match-only
 	// workloads) per wall-clock second.
 	AgentStepsPerSec float64 `json:"agentsteps_per_s"`
+	// BytesPerRound and AllocsPerRound are heap-allocation averages per
+	// iteration (runtime.MemStats deltas over the timed loop, excluding
+	// construction). The -diff gate warns when they regress: the steady
+	// state is supposed to reuse buffers, so new per-round garbage is a
+	// leak of the scratch-reuse discipline even when wall time looks fine.
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
 }
 
 // benchBudget is the minimum wall-clock spent per workload; every workload
@@ -35,9 +47,11 @@ type jsonBenchmark struct {
 const benchBudget = 1500 * time.Millisecond
 
 // runThroughputBenchmarks times the fixed simulator workloads whose
-// agentsteps/s the -diff perf gate tracks: a well-mixed full round, a torus
-// full round, and the sharded torus matching phase alone at N = 2²⁰ (the
-// parallel spatial pipeline). All workloads are seeded and deterministic in
+// agentsteps/s the -diff perf gate tracks: well-mixed and torus full rounds
+// at N = 2¹⁶ and 2²⁰, the sharded torus matching phase alone at N = 2²⁰
+// (the parallel spatial pipeline), and an apply-heavy churn round where
+// about half the population turns over every round (the sharded
+// apply/compaction path). All workloads are seeded and deterministic in
 // content; only wall time varies across machines, which is why -diff only
 // warns (never fails) on throughput changes.
 func runThroughputBenchmarks(verbose bool) []jsonBenchmark {
@@ -49,41 +63,67 @@ func runThroughputBenchmarks(verbose bool) []jsonBenchmark {
 		}
 		out = append(out, b)
 		if verbose {
-			fmt.Printf("bench %-24s n=%-8d workers=%-2d rounds=%-4d %8dms  %14.0f agentsteps/s\n",
-				b.Name, b.N, b.Workers, b.Rounds, b.ElapsedMS, b.AgentStepsPerSec)
+			fmt.Printf("bench %-24s n=%-8d workers=%-2d rounds=%-4d %8dms  %14.0f agentsteps/s  %10.0f B/round %8.1f allocs/round\n",
+				b.Name, b.N, b.Workers, b.Rounds, b.ElapsedMS, b.AgentStepsPerSec,
+				b.BytesPerRound, b.AllocsPerRound)
 		}
 	}
 	add(benchRounds("RoundN65536", 65536, popstab.Mixed))
+	add(benchRounds("RoundN1048576", 1<<20, popstab.Mixed))
 	add(benchRounds("TorusRoundN65536", 65536, popstab.Torus))
+	add(benchRounds("TorusRoundN1048576", 1<<20, popstab.Torus))
 	add(benchTorusMatch("TorusMatchN1048576", 1<<20))
+	add(benchChurn("ChurnN1048576", 1<<20))
 	return out
+}
+
+// measure drives iter — one iteration returning the number of agents it
+// processed — until benchBudget is consumed, and fills b's timing and
+// allocation fields. Two untimed warmup iterations run first so the
+// initial growth of reusable buffers (double buffers, pairing scratch,
+// spatial CSR arrays) lands outside the measured window: the gate tracks
+// the steady state, and short workloads (a few iterations per budget)
+// would otherwise flap on how much warmup they happened to absorb.
+func measure(b jsonBenchmark, iter func() int) jsonBenchmark {
+	for i := 0; i < 2; i++ {
+		iter()
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	steps := 0
+	start := time.Now()
+	for rounds := 0; ; rounds++ {
+		if elapsed := time.Since(start); rounds > 0 && elapsed >= benchBudget {
+			runtime.ReadMemStats(&m1)
+			b.Rounds = rounds
+			b.ElapsedMS = elapsed.Milliseconds()
+			b.AgentStepsPerSec = float64(steps) / elapsed.Seconds()
+			b.BytesPerRound = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds)
+			b.AllocsPerRound = float64(m1.Mallocs-m0.Mallocs) / float64(rounds)
+			return b
+		}
+		steps += iter()
+	}
 }
 
 // benchRounds times full engine rounds at the engine's default worker
 // count.
 func benchRounds(name string, n int, topo popstab.Topology) (jsonBenchmark, error) {
 	b := jsonBenchmark{Name: name, N: n, Workers: runtime.NumCPU()}
-	sim, err := popstab.New(popstab.Config{N: n, Tinner: 2 * log2of(n), Seed: 1, Topology: topo})
+	s, err := popstab.New(popstab.Config{N: n, Tinner: 2 * log2of(n), Seed: 1, Topology: topo})
 	if err != nil {
 		return b, err
 	}
-	steps := 0
-	start := time.Now()
-	for rounds := 0; ; rounds++ {
-		if elapsed := time.Since(start); rounds > 0 && elapsed >= benchBudget {
-			b.Rounds = rounds
-			b.ElapsedMS = elapsed.Milliseconds()
-			b.AgentStepsPerSec = float64(steps) / elapsed.Seconds()
-			return b, nil
-		}
-		sim.RunRound()
-		steps += sim.Size()
-	}
+	defer s.Close()
+	return measure(b, func() int {
+		s.RunRound()
+		return s.Size()
+	}), nil
 }
 
 // benchTorusMatch times the sharded spatial matching phase alone — the
-// tentpole hot path — over a static population of n uniformly placed
-// agents.
+// spatial hot path — over a static population of n uniformly placed
+// agents, with a live worker pool exactly as the engine provides one.
 func benchTorusMatch(name string, n int) (jsonBenchmark, error) {
 	b := jsonBenchmark{Name: name, N: n, Workers: runtime.NumCPU()}
 	tor, err := match.NewTorus(1 / math.Sqrt(float64(n)))
@@ -93,18 +133,58 @@ func benchTorusMatch(name string, n int) (jsonBenchmark, error) {
 	pop := population.New(n)
 	tor.Bind(pop, prng.New(1))
 	tor.SetWorkers(runtime.NumCPU())
+	pl := pool.New(runtime.NumCPU())
+	defer pl.Close()
+	tor.SetPool(pl)
 	src := prng.New(2)
 	var p match.Pairing
-	start := time.Now()
-	for rounds := 0; ; rounds++ {
-		if elapsed := time.Since(start); rounds > 0 && elapsed >= benchBudget {
-			b.Rounds = rounds
-			b.ElapsedMS = elapsed.Milliseconds()
-			b.AgentStepsPerSec = float64(rounds) * float64(n) / elapsed.Seconds()
-			return b, nil
-		}
+	p.SetPool(pl)
+	return measure(b, func() int {
 		tor.SampleMatch(pop, src, &p)
+		return n
+	}), nil
+}
+
+// churnStepper is a synthetic apply-heavy program: each agent dies with
+// probability 1/4 and splits with probability 1/4 every round, so about
+// half the population turns over per round — the worst case for the
+// apply/compaction path the prefix-sum plan shards. Messages are ignored;
+// the process is critical (E[offspring] = 1), so the size random-walks
+// around its start without drifting over a benchmark's horizon.
+type churnStepper struct{}
+
+func (churnStepper) EpochLen() int              { return 1 }
+func (churnStepper) Compose(*agent.State) uint8 { return 0 }
+func (churnStepper) Decode(uint8) wire.Message  { return wire.Message{} }
+func (churnStepper) Step(_ *agent.State, _ wire.Message, _ bool, src *prng.Source) population.Action {
+	switch src.Uint64() % 4 {
+	case 0:
+		return population.ActDie
+	case 1:
+		return population.ActSplit
+	default:
+		return population.ActKeep
 	}
+}
+
+// benchChurn times full rounds of the churn program — compose and matching
+// are trivial, so the round is dominated by the sharded apply/compaction
+// of ~n/2 deaths and ~n/2 births.
+func benchChurn(name string, n int) (jsonBenchmark, error) {
+	b := jsonBenchmark{Name: name, N: n, Workers: runtime.NumCPU()}
+	p, err := params.Derive(n, params.WithTinner(2*log2of(n)))
+	if err != nil {
+		return b, err
+	}
+	eng, err := sim.New(sim.Config{Params: p, Protocol: churnStepper{}, Seed: 1})
+	if err != nil {
+		return b, err
+	}
+	defer eng.Close()
+	return measure(b, func() int {
+		eng.RunRound()
+		return eng.Size()
+	}), nil
 }
 
 // log2of is log₂ n for a power of two.

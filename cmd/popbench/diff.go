@@ -12,6 +12,20 @@ import (
 // throughput can never be a hard gate the way verdicts are).
 const perfWarnFraction = 0.20
 
+// Allocation warnings fire when a workload's per-round heap traffic grows
+// more than allocWarnFraction above the baseline AND clears the noise
+// floors. The floors matter: the steady state is supposed to allocate
+// almost nothing per round, so tiny baselines (a handful of allocations
+// from timer/runtime noise) would otherwise make the relative test fire on
+// jitter. Unlike wall time, allocation counts are machine-independent, so
+// a genuine increase is a real code change — but it is still warn-only
+// because baselines recorded before these fields existed carry zeros.
+const (
+	allocWarnFraction = 0.20
+	allocsNoiseFloor  = 16.0    // allocs/round below this are ignored
+	bytesNoiseFloor   = 65536.0 // bytes/round below this are ignored
+)
+
 // loadReport parses one -json document from disk.
 func loadReport(path string) (*jsonReport, error) {
 	data, err := os.ReadFile(path)
@@ -149,6 +163,25 @@ func diffBenchmarks(w io.Writer, oldB, newB []jsonBenchmark) []string {
 				"benchmark %s agentsteps/s dropped %.1f%% (%.0f -> %.0f); investigate before merging",
 				ob.Name, (1-ratio)*100, ob.AgentStepsPerSec, nb.AgentStepsPerSec))
 		}
+		warnings = append(warnings,
+			allocWarning(ob.Name, "allocs/round", ob.AllocsPerRound, nb.AllocsPerRound, allocsNoiseFloor)...)
+		warnings = append(warnings,
+			allocWarning(ob.Name, "bytes/round", ob.BytesPerRound, nb.BytesPerRound, bytesNoiseFloor)...)
 	}
 	return warnings
+}
+
+// allocWarning reports a per-round allocation regression for one metric,
+// or nothing when the change is under allocWarnFraction, under the noise
+// floor, or the baseline predates the metric (old == 0).
+func allocWarning(name, metric string, old, cur, floor float64) []string {
+	if old <= 0 || cur <= floor {
+		return nil
+	}
+	if cur/old <= 1+allocWarnFraction {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"benchmark %s %s grew %.0f%% (%.0f -> %.0f); per-round garbage crept back in — investigate before merging",
+		name, metric, (cur/old-1)*100, old, cur)}
 }

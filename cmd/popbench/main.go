@@ -10,16 +10,22 @@
 //	popbench -scale quick -json -bench > results.json
 //	popbench -diff BENCH_baseline.json results.json
 //	popbench -refresh-baseline
+//	popbench -bench -run E1 -cpuprofile cpu.out -memprofile mem.out
 //
 // The -json form emits one machine-readable document (schema below) so CI
 // can track the verdict and per-experiment wall time across commits; with
 // -bench it also times a fixed set of simulator throughput workloads
-// (agentsteps/s). The -diff form compares two such documents: it FAILS on
-// any experiment verdict regression (reproduced in the old document, not in
-// the new) and WARNS when a benchmark's agentsteps/s drops more than 20% —
+// (agentsteps/s and per-round allocations). The -diff form compares two
+// such documents: it FAILS on any experiment verdict regression (reproduced
+// in the old document, not in the new) and WARNS when a benchmark's
+// agentsteps/s drops — or its per-round allocations rise — more than 20%,
 // the CI regression gate (BENCH_baseline.json is the committed baseline).
 // The -refresh-baseline form regenerates that committed baseline in one
 // command after a PR intentionally changes verdict rows or throughput.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering the
+// whole run (experiments plus -bench workloads); see README for the
+// profiling workflow.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -85,9 +92,40 @@ func run(args []string) error {
 		diff      = fs.Bool("diff", false, "compare two -json documents: popbench -diff old.json new.json")
 		refresh   = fs.Bool("refresh-baseline", false, "regenerate the committed CI baseline in one command (forces -scale quick -json -bench, writes to -baseline)")
 		baseline  = fs.String("baseline", "BENCH_baseline.json", "output path for -refresh-baseline")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling brackets everything below — experiment suite and -bench
+	// workloads alike — so a hot path can be attributed wherever it is
+	// exercised. The heap profile is taken at exit, after a forced GC, so
+	// it shows live steady-state memory rather than transient garbage.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "popbench: heap profile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	// One-command baseline refresh: the exact invocation CI diffs against,

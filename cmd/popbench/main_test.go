@@ -207,6 +207,53 @@ func TestDiffPerfDropWarnsOnly(t *testing.T) {
 	}
 }
 
+// TestDiffAllocRegressionWarnsOnly: per-round allocation growth beyond 20%
+// warns (both allocs/round and bytes/round) but never fails the diff, and
+// the gate stays silent for pre-metric baselines (old == 0), sub-noise
+// absolute values, and growth inside the tolerance.
+func TestDiffAllocRegressionWarnsOnly(t *testing.T) {
+	var sb strings.Builder
+	warns := diffBenchmarks(&sb,
+		[]jsonBenchmark{{Name: "x", AgentStepsPerSec: 100, AllocsPerRound: 100, BytesPerRound: 1e6}},
+		[]jsonBenchmark{{Name: "x", AgentStepsPerSec: 100, AllocsPerRound: 200, BytesPerRound: 3e6}})
+	if len(warns) != 2 {
+		t.Fatalf("alloc regression produced %d warnings, want 2: %v", len(warns), warns)
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, "grew") {
+			t.Errorf("warning %q does not describe growth", w)
+		}
+	}
+
+	// Warn-only: a whole-document diff with the same regression passes.
+	oldRep := baseReport()
+	oldRep.Benchmarks[0].AllocsPerRound = 100
+	oldRep.Benchmarks[0].BytesPerRound = 1e6
+	newRep := baseReport()
+	newRep.Benchmarks[0].AllocsPerRound = 500
+	newRep.Benchmarks[0].BytesPerRound = 5e6
+	if err := run([]string{"-diff", writeReport(t, oldRep), writeReport(t, newRep)}); err != nil {
+		t.Fatalf("alloc regression must warn, not fail: %v", err)
+	}
+
+	// Silent cases.
+	for _, tc := range []struct {
+		name     string
+		old, cur jsonBenchmark
+	}{
+		{"pre-metric baseline", jsonBenchmark{Name: "x", AgentStepsPerSec: 1},
+			jsonBenchmark{Name: "x", AgentStepsPerSec: 1, AllocsPerRound: 1000, BytesPerRound: 1e7}},
+		{"below noise floor", jsonBenchmark{Name: "x", AgentStepsPerSec: 1, AllocsPerRound: 2, BytesPerRound: 100},
+			jsonBenchmark{Name: "x", AgentStepsPerSec: 1, AllocsPerRound: 10, BytesPerRound: 1000}},
+		{"growth inside tolerance", jsonBenchmark{Name: "x", AgentStepsPerSec: 1, AllocsPerRound: 100, BytesPerRound: 1e6},
+			jsonBenchmark{Name: "x", AgentStepsPerSec: 1, AllocsPerRound: 110, BytesPerRound: 1.1e6}},
+	} {
+		if warns := diffBenchmarks(&sb, []jsonBenchmark{tc.old}, []jsonBenchmark{tc.cur}); len(warns) != 0 {
+			t.Errorf("%s warned: %v", tc.name, warns)
+		}
+	}
+}
+
 // TestDiffRejectsBadInput covers argument and document validation.
 func TestDiffRejectsBadInput(t *testing.T) {
 	good := writeReport(t, baseReport())

@@ -13,11 +13,18 @@ package match
 import (
 	"fmt"
 
+	"popstab/internal/pool"
 	"popstab/internal/prng"
 )
 
 // Unmatched marks an agent with no neighbor this round in a Pairing.
 const Unmatched int32 = -1
+
+// minPairingShard bounds how finely the pairing's O(n) fills shard on the
+// worker pool: below ~8k entries per worker the wake-up exceeds the fill.
+// Purely a scheduling heuristic — every sharded loop here writes each slot
+// from exactly one shard, so output is worker-count-invariant.
+const minPairingShard = 8192
 
 // Pairing is the outcome of one round of scheduling: Nbr[i] is the index of
 // agent i's neighbor, or Unmatched. A valid pairing is an involution:
@@ -28,6 +35,43 @@ type Pairing struct {
 	// perm is scratch space reused across rounds to avoid per-round
 	// allocation.
 	perm []int32
+	// pool, when set (SetPool), shards the O(n) fills — the Unmatched reset,
+	// the identity permutation, and the pair linking. The randomness-
+	// consuming partial shuffle itself is inherently sequential and always
+	// runs serially, so output is identical with and without a pool.
+	pool *pool.Pool
+	// fillUnmatched, fillIdentity, and linkPairs are the pooled forms of the
+	// three fill loops, bound once in SetPool so the per-round hot path
+	// allocates no closures.
+	fillUnmatched func(lo, hi int)
+	fillIdentity  func(lo, hi int)
+	linkPairs     func(lo, hi int)
+}
+
+// SetPool attaches a worker pool for the O(n) fill loops. The engine calls
+// it once at construction; without a pool every loop runs serially.
+func (p *Pairing) SetPool(pl *pool.Pool) {
+	p.pool = pl
+	p.fillUnmatched = func(lo, hi int) {
+		nbr := p.Nbr
+		for i := lo; i < hi; i++ {
+			nbr[i] = Unmatched
+		}
+	}
+	p.fillIdentity = func(lo, hi int) {
+		perm := p.perm
+		for i := lo; i < hi; i++ {
+			perm[i] = int32(i)
+		}
+	}
+	p.linkPairs = func(lo, hi int) {
+		nbr, perm := p.Nbr, p.perm
+		for k := lo; k < hi; k++ {
+			a, b := perm[2*k], perm[2*k+1]
+			nbr[a] = b
+			nbr[b] = a
+		}
+	}
 }
 
 // Reset prepares the pairing for a population of n agents, growing buffers
@@ -39,6 +83,10 @@ func (p *Pairing) Reset(n int) {
 	}
 	p.Nbr = p.Nbr[:n]
 	p.perm = p.perm[:n]
+	if p.pool != nil {
+		p.pool.Run(n, minPairingShard, p.fillUnmatched)
+		return
+	}
 	for i := range p.Nbr {
 		p.Nbr[i] = Unmatched
 	}
@@ -208,6 +256,11 @@ func (Sequential) Sample(n int, src *prng.Source, p *Pairing) {
 // consecutive entries. The prefix of a truncated Fisher-Yates shuffle is a
 // uniformly random ordered 2k-subset, so consecutive pairing yields a
 // uniformly random matching of size k.
+//
+// The identity fill and the pair linking shard on the pool (the fill writes
+// slot i from one shard only; the linking writes Nbr[a]/Nbr[b] of disjoint
+// pairs); the partial shuffle is a sequential PRNG walk and must stay
+// serial — parallelizing it would change which variates each swap consumes.
 func samplePrefixPairs(n, pairs int, src *prng.Source, p *Pairing) {
 	if pairs*2 > n {
 		pairs = n / 2
@@ -216,10 +269,18 @@ func samplePrefixPairs(n, pairs int, src *prng.Source, p *Pairing) {
 		return
 	}
 	perm := p.perm[:n]
-	for i := range perm {
-		perm[i] = int32(i)
+	if p.pool != nil {
+		p.pool.Run(n, minPairingShard, p.fillIdentity)
+	} else {
+		for i := range perm {
+			perm[i] = int32(i)
+		}
 	}
 	src.PartialShuffleInt32(perm, 2*pairs)
+	if p.pool != nil {
+		p.pool.Run(pairs, minPairingShard, p.linkPairs)
+		return
+	}
 	for i := 0; i < 2*pairs; i += 2 {
 		a, b := perm[i], perm[i+1]
 		p.Nbr[a] = b

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"popstab/internal/pool"
 	"popstab/internal/population"
 	"popstab/internal/prng"
 	"popstab/internal/wire"
@@ -40,6 +41,16 @@ type Binder interface {
 // setting — matcher output is bit-identical for every worker count.
 type WorkerSetter interface {
 	SetWorkers(n int)
+}
+
+// PoolSetter is implemented by Matchers that shard their matching phase on
+// the engine's persistent worker pool instead of spawning goroutines per
+// round. The engine calls SetPool once at construction; a matcher that
+// never receives a pool (standalone use) falls back to its own sharding.
+// Like SetWorkers, purely a throughput setting — output is identical with
+// and without a pool.
+type PoolSetter interface {
+	SetPool(p *pool.Pool)
 }
 
 // Space is implemented by spatial Matchers and describes their geometry to

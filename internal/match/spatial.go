@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"popstab/internal/pool"
 	"popstab/internal/population"
 	"popstab/internal/prng"
 	"popstab/internal/wire"
@@ -107,6 +108,10 @@ type geometry[G any] interface {
 type spatial[G geometry[G]] struct {
 	geo     G
 	workers int
+	// pool, when set (SetPool), runs the sharded phases on the engine's
+	// persistent worker pool; without one (standalone use) they fall back to
+	// spawning per-round goroutines via parallelFor. Same shards either way.
+	pool *pool.Pool
 
 	pos *population.Positions
 	src *prng.Source
@@ -183,6 +188,22 @@ func (s *spatial[G]) SetWorkers(n int) {
 		n = 1
 	}
 	s.workers = n
+}
+
+// SetPool implements PoolSetter: the sharded phases reuse the engine's
+// parked workers instead of spawning goroutines every round. Purely a
+// throughput setting — shard boundaries and output are unchanged.
+func (s *spatial[G]) SetPool(p *pool.Pool) { s.pool = p }
+
+// run executes fn over [0, n) in contiguous shards: on the pool when one is
+// attached, else via per-call goroutines (parallelFor), inline when one
+// shard suffices.
+func (s *spatial[G]) run(n int, fn func(lo, hi int)) {
+	if s.pool != nil {
+		s.pool.Run(n, minSpatialShard, fn)
+		return
+	}
+	parallelFor(n, s.workers, fn)
 }
 
 // SampleMatch implements the Matcher sampling method with sharded
@@ -306,7 +327,7 @@ func (s *spatial[G]) sample(n int, src *prng.Source, p *Pairing, call uint64) {
 	}
 
 	// Phase 1 (sharded): bucket every agent.
-	parallelFor(n, workers, func(lo, hi int) {
+	s.run(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s.cellIdx[i] = g.cell(pos[i])
 		}
@@ -336,7 +357,7 @@ func (s *spatial[G]) sample(n int, src *prng.Source, p *Pairing, call uint64) {
 	// order — so tie-breaking (and the output) is bit-identical to the
 	// per-agent form.
 	rewrite := s.rewrite
-	parallelFor(n, workers, func(lo, hi int) {
+	s.run(n, func(lo, hi int) {
 		var nbuf [maxNbrCells]int32
 		var segs [maxNbrCells][2]int32
 		// Locate the cell containing CSR slot lo.
@@ -384,8 +405,17 @@ func (s *spatial[G]) sample(n int, src *prng.Source, p *Pairing, call uint64) {
 		}
 	})
 
-	// Phase 4 (serial): random-order greedy walk.
-	src.PermInt32Into(s.order)
+	// Phase 4 (serial walk): random-order greedy matching. The visit
+	// permutation's identity fill shards (pure per-index writes); the
+	// Fisher–Yates shuffle then consumes exactly the variates
+	// src.PermInt32Into would — PermInt32Into IS identity-fill + Shuffle —
+	// so the order, and the walk, are bit-identical to the historical form.
+	s.run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.order[i] = int32(i)
+		}
+	})
+	src.Shuffle(n, func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] })
 	var nbuf [maxNbrCells]int32
 	for _, oi := range s.order {
 		i := int(oi)
@@ -429,11 +459,13 @@ func (s *spatial[G]) scatter(pos []population.Point, ncells, workers int) {
 	n := len(s.cellIdx)
 	copy(s.cellCur, s.cellStart[:ncells])
 	w := workers
+	if s.pool != nil {
+		w = s.pool.Shards(n, minSpatialShard)
+	} else if lim := n / minSpatialShard; w > lim {
+		w = lim
+	}
 	if w > maxScatterShards {
 		w = maxScatterShards
-	}
-	if lim := n / minSpatialShard; w > lim {
-		w = lim
 	}
 	if w <= 1 {
 		for i, c := range s.cellIdx {
@@ -461,21 +493,29 @@ func (s *spatial[G]) scatter(pos []population.Point, ncells, workers int) {
 		}
 		bounds[k] = lo
 	}
+	shard := func(k int) {
+		cLo, cHi := bounds[k], bounds[k+1]
+		for i, c := range s.cellIdx {
+			if c < cLo || c >= cHi {
+				continue
+			}
+			at := s.cellCur[c]
+			s.cellAgents[at] = int32(i)
+			s.posByCell[at] = pos[i]
+			s.cellCur[c]++
+		}
+	}
+	if s.pool != nil {
+		s.pool.RunN(w, shard)
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func(cLo, cHi int32) {
+		go func(k int) {
 			defer wg.Done()
-			for i, c := range s.cellIdx {
-				if c < cLo || c >= cHi {
-					continue
-				}
-				at := s.cellCur[c]
-				s.cellAgents[at] = int32(i)
-				s.posByCell[at] = pos[i]
-				s.cellCur[c]++
-			}
-		}(bounds[k], bounds[k+1])
+			shard(k)
+		}(k)
 	}
 	wg.Wait()
 }

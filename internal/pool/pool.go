@@ -1,0 +1,225 @@
+// Package pool provides the engine's persistent worker pool: a fixed set of
+// parked goroutines that data-parallel phases (compose/step sharding, the
+// spatial matching pipeline, the apply-plan scatter, snapshot encoding) wake
+// per task instead of spawning fresh goroutines every round. At high round
+// rates the per-round spawn + WaitGroup-barrier cost of the old scheme was a
+// measurable serial tail (DESIGN.md §10); the pool replaces it with one
+// channel send per shard.
+//
+// Determinism: the pool only ever runs callbacks the caller supplies over
+// index ranges the caller derives from (n, grain, Workers()). Nothing here
+// consumes randomness or reorders outputs, so — exactly as with the old
+// per-round goroutines — simulation output is bit-identical for every worker
+// count. Workers is purely a throughput knob.
+//
+// Lifecycle: workers are spawned lazily on first use and park on a shared
+// task channel between rounds. Close releases them; a closed pool degrades
+// gracefully (every Run/RunN/Go executes inline on the caller), so an engine
+// whose pool was closed keeps producing identical results, just serially.
+// The engine closes its pool explicitly (Engine.Close) and also attaches a
+// runtime.AddCleanup so pools of engines that become garbage — e.g. sessions
+// hibernated or reaped by internal/serve, which simply drop the engine —
+// park-and-exit instead of leaking goroutines.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// task is one unit of sharded work: run executes the shard, done signals the
+// submitting goroutine.
+type task struct {
+	run  func()
+	done *sync.WaitGroup
+}
+
+// auxTask is one overlap task for the dedicated auxiliary goroutine.
+type auxTask struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Pool is a persistent worker pool of a fixed parallelism. The zero value is
+// not usable; create with New. Run, RunN, and Go may be called concurrently
+// with each other (tasks never block inside the pool), but not concurrently
+// with Close.
+type Pool struct {
+	workers int // total participants, including the submitting goroutine
+	jobs    chan task
+	aux     chan auxTask
+	stop    chan struct{}
+	closed  atomic.Bool
+
+	mu      sync.Mutex
+	started int // spawned worker goroutines (≤ workers-1)
+	auxUp   bool
+}
+
+// New returns a pool of the given total parallelism (< 1 is treated as 1).
+// The submitting goroutine always executes one shard itself, so a pool of W
+// spawns at most W-1 worker goroutines — and a pool of 1 spawns none and
+// runs everything inline: the serial path has zero scheduling overhead.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{
+		workers: workers,
+		jobs:    make(chan task, 8*workers),
+		aux:     make(chan auxTask, 1),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Workers reports the pool's total parallelism (≥ 1).
+func (p *Pool) Workers() int { return p.workers }
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
+// Shards reports how many shards Run would split n items into at the given
+// minimum grain: min(Workers, n/grain), at least 1. Callers that need the
+// shard count up front (per-shard accumulators, prefix sums) use it so their
+// partition matches Run's.
+func (p *Pool) Shards(n, grain int) int {
+	if p.closed.Load() {
+		return 1
+	}
+	w := p.workers
+	if grain > 0 {
+		if lim := n / grain; w > lim {
+			w = lim
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn over up to Workers contiguous shards of [0, n), blocking
+// until all shards complete. The submitting goroutine runs the last shard
+// itself. grain bounds how finely the range splits (at least grain items per
+// shard); with one effective shard — small n, Workers 1, or a closed pool —
+// fn runs inline with no synchronization. fn must be safe to call
+// concurrently on disjoint ranges.
+func (p *Pool) Run(n, grain int, fn func(lo, hi int)) {
+	w := p.Shards(n, grain)
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(w - 1)
+	for k := 0; k < w-1; k++ {
+		lo, hi := k*n/w, (k+1)*n/w
+		p.submit(task{run: func() { fn(lo, hi) }, done: &done})
+	}
+	fn((w-1)*n/w, n)
+	done.Wait()
+}
+
+// RunN fans fn out over shard indices 0..w-1, blocking until all complete.
+// The submitting goroutine runs the last index itself. It is Run for callers
+// that partition work themselves (per-shard counters, cell ranges); w should
+// not exceed Workers or the extra shards just queue.
+func (p *Pool) RunN(w int, fn func(k int)) {
+	if w <= 1 || p.closed.Load() {
+		for k := 0; k < w; k++ {
+			fn(k)
+		}
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(w - 1)
+	for k := 0; k < w-1; k++ {
+		k := k
+		p.submit(task{run: func() { fn(k) }, done: &done})
+	}
+	fn(w - 1)
+	done.Wait()
+}
+
+// Go runs fn on the pool's dedicated auxiliary goroutine and returns a wait
+// function that blocks until fn has finished. The engine uses it to overlap
+// two provably independent serial-ish phases (compose vs. matching) without
+// spawning a goroutine per round. At most one auxiliary task may be
+// outstanding at a time. On a pool of 1 (or a closed pool) fn runs inline
+// and the returned wait is a no-op — the serial path stays serial.
+func (p *Pool) Go(fn func()) (wait func()) {
+	if p.workers <= 1 || p.closed.Load() {
+		fn()
+		return func() {}
+	}
+	p.mu.Lock()
+	if !p.auxUp {
+		p.auxUp = true
+		go p.auxLoop()
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	p.aux <- auxTask{fn: fn, done: done}
+	return func() { <-done }
+}
+
+// Close releases every parked goroutine. Idempotent. Must not be called
+// concurrently with Run/RunN/Go; after Close they all execute inline, so a
+// closed pool's owner keeps working (serially) rather than deadlocking.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.stop)
+}
+
+// submit enqueues one task, growing the worker set toward workers-1.
+func (p *Pool) submit(t task) {
+	if p.closed.Load() {
+		t.run()
+		t.done.Done()
+		return
+	}
+	p.mu.Lock()
+	if p.started < p.workers-1 {
+		p.started++
+		go p.worker()
+	}
+	p.mu.Unlock()
+	p.jobs <- t
+}
+
+// worker is the parked shard executor: drain tasks, exit on stop. Queued
+// tasks win over a concurrent stop so Close never strands submitted work
+// (Close is not called concurrently with submission, but a worker observing
+// both prefers the task).
+func (p *Pool) worker() {
+	for {
+		select {
+		case t := <-p.jobs:
+			t.run()
+			t.done.Done()
+		default:
+			select {
+			case t := <-p.jobs:
+				t.run()
+				t.done.Done()
+			case <-p.stop:
+				return
+			}
+		}
+	}
+}
+
+// auxLoop is the parked overlap executor behind Go.
+func (p *Pool) auxLoop() {
+	for {
+		select {
+		case t := <-p.aux:
+			t.fn()
+			close(t.done)
+		case <-p.stop:
+			return
+		}
+	}
+}

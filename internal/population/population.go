@@ -8,9 +8,11 @@
 package population
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"popstab/internal/agent"
+	"popstab/internal/pool"
 	"popstab/internal/wire"
 )
 
@@ -60,15 +62,43 @@ type Tracker interface {
 	DeletedSwap(i, last int)
 	// Applied reports one Apply compaction pass; the tracker replays the
 	// identical stable compaction (and daughter appends for ActSplit) over
-	// its own array.
+	// its own array. Trackers that additionally implement PlanApplier
+	// receive the precomputed ApplyPlan instead (never both).
 	Applied(actions []Action)
 }
 
+// PlanApplier is an optional Tracker refinement: Apply hands the tracker the
+// round's precomputed ApplyPlan instead of the raw action array, so the
+// side-array replays the identical stable compaction without re-walking and
+// re-counting the actions — and, with a pool attached, shards the scatter.
+type PlanApplier interface {
+	// AppliedPlan replaces Applied for one Apply pass. The plan is valid
+	// only for the duration of the call plus the current round.
+	AppliedPlan(plan *ApplyPlan)
+}
+
+// PoolUser is an optional Tracker refinement: trackers that shard their own
+// bulk work (scatter, snapshot encode) receive the population's worker pool
+// when one is attached (Population.SetPool).
+type PoolUser interface {
+	SetPool(p *pool.Pool)
+}
+
 // Population is the mutable set of living agents. It is not safe for
-// concurrent use; the simulator owns it on a single goroutine.
+// concurrent use; the simulator owns it on a single goroutine (sharded bulk
+// phases — the apply-plan scatter, snapshot encode — fan out through the
+// attached pool but are fully joined before any method returns).
 type Population struct {
-	states   []agent.State
+	states []agent.State
+	// spare is the displaced double-buffer of the apply scatter, reused
+	// across rounds (see ApplyPlanned).
+	spare    []agent.State
 	trackers []Tracker
+
+	// pool, when set, shards Apply and EncodeState; nil runs them serially.
+	// Purely a throughput knob: layouts and bytes are pool-invariant.
+	pool *pool.Pool
+	plan ApplyPlan
 }
 
 // New returns a population of n agents in the all-zero initial state, as at
@@ -92,7 +122,28 @@ func FromStates(states []agent.State) *Population {
 func (p *Population) Attach(t Tracker) {
 	p.trackers = append(p.trackers, t)
 	t.Attached(len(p.states))
+	if pu, ok := t.(PoolUser); ok && p.pool != nil {
+		pu.SetPool(p.pool)
+	}
 }
+
+// SetPool attaches a worker pool sharding the bulk phases (Apply's
+// count/scatter passes, EncodeState), propagating it to every attached
+// tracker that can use one. The engine calls it once at construction; nil
+// (the default) keeps everything serial. Output is pool-invariant.
+func (p *Population) SetPool(pl *pool.Pool) {
+	p.pool = pl
+	for _, t := range p.trackers {
+		if pu, ok := t.(PoolUser); ok {
+			pu.SetPool(pl)
+		}
+	}
+}
+
+// States exposes the backing agent-state array for bulk streaming on hot
+// paths (the engine's compose/step loops). The slice is invalidated by any
+// structural mutation (Insert, DeleteSwap, Apply).
+func (p *Population) States() []agent.State { return p.states }
 
 // Len reports the number of living agents.
 func (p *Population) Len() int { return len(p.states) }
@@ -149,29 +200,34 @@ func (p *Population) Apply(actions []Action) (births, deaths int) {
 	if len(actions) != len(p.states) {
 		panic(fmt.Sprintf("population: %d actions for %d agents", len(actions), len(p.states)))
 	}
-	for _, act := range actions {
-		switch act {
-		case ActDie:
-			deaths++
-		case ActSplit:
-			births++
+	// Build the round's slot plan once (it also yields the birth/death
+	// census, folding out the historical separate counting walk), apply it
+	// to the state array, and replay it over every side-array.
+	p.plan.build(actions, p.pool)
+	p.states, p.spare = ApplyPlanned(&p.plan, p.states, p.spare,
+		func(parent agent.State) agent.State { return parent })
+	for _, t := range p.trackers {
+		if pa, ok := t.(PlanApplier); ok {
+			pa.AppliedPlan(&p.plan)
+		} else {
+			t.Applied(actions)
 		}
 	}
-	p.states = ReplayApply(p.states, actions, func(parent agent.State) agent.State { return parent })
-	for _, t := range p.trackers {
-		t.Applied(actions)
-	}
-	return births, deaths
+	return p.plan.Births(), p.plan.Deaths()
 }
 
-// ReplayApply is the one copy of Apply's compaction invariant, shared by the
-// agent-state array and every side-array tracker: it stably compacts arr by
-// dropping ActDie entries, then — because survivor k of the original order
-// now sits at compacted index k — walks the actions again and appends one
-// spawn(arr[k]) daughter per ActSplit, in action order. Daughters land after
-// the compacted prefix and are never themselves walked. Trackers replaying
-// the same actions over their own arrays therefore stay index-aligned with
-// the population by construction.
+// ReplayApply is the serial reference form of Apply's compaction invariant:
+// it stably compacts arr by dropping ActDie entries, then — because survivor
+// k of the original order now sits at compacted index k — walks the actions
+// again and appends one spawn(arr[k]) daughter per ActSplit, in action
+// order. Daughters land after the compacted prefix and are never themselves
+// walked. Trackers replaying the same actions over their own arrays
+// therefore stay index-aligned with the population by construction.
+//
+// The hot path (Apply, AppliedPlan) now goes through the sharded ApplyPlan,
+// which reproduces this function's layout bit for bit; ReplayApply remains
+// the semantic definition, the fallback for plan-unaware trackers, and the
+// oracle the golden/property tests pin the plan against (DESIGN.md §10).
 func ReplayApply[T any](arr []T, actions []Action, spawn func(parent T) T) []T {
 	w := 0
 	for i, act := range actions {
@@ -195,18 +251,47 @@ func ReplayApply[T any](arr []T, actions []Action, spawn func(parent T) T) []T {
 	return arr
 }
 
+// minEncodeShard bounds how finely the bulk snapshot encode/decode shards.
+const minEncodeShard = 16384
+
+// agentRecordSize is the fixed snapshot payload per agent: Round u32 plus
+// four single-byte fields, little-endian — the exact byte stream the
+// historical per-field encoder produced, now written as one block so
+// popserve's checkpoint cadence stops stalling the runner at large N.
+const agentRecordSize = 8
+
+// boolByte is the wire encoding of a boolean (Enc.Bool's 0/1).
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // EncodeState writes the agent-state array into a snapshot section payload
 // (see internal/wire). Trackers serialize their own side-arrays; the
 // engine's snapshot layout keeps them adjacent so restore re-aligns them.
+// The records are written into one bulk block, sharded across the attached
+// pool; the byte stream is identical to the historical per-field encoding.
 func (p *Population) EncodeState(e *wire.Enc) {
-	e.U64(uint64(len(p.states)))
-	for i := range p.states {
-		s := &p.states[i]
-		e.U32(s.Round)
-		e.Bool(s.Active)
-		e.U8(s.Color)
-		e.Bool(s.Recruiting)
-		e.U8(uint8(s.ToRecruit))
+	n := len(p.states)
+	e.U64(uint64(n))
+	b := e.Block(n * agentRecordSize)
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := &p.states[i]
+			r := b[i*agentRecordSize : i*agentRecordSize+agentRecordSize]
+			binary.LittleEndian.PutUint32(r[0:4], s.Round)
+			r[4] = boolByte(s.Active)
+			r[5] = s.Color
+			r[6] = boolByte(s.Recruiting)
+			r[7] = uint8(s.ToRecruit)
+		}
+	}
+	if p.pool != nil {
+		p.pool.Run(n, minEncodeShard, fill)
+	} else {
+		fill(0, n)
 	}
 }
 
@@ -217,23 +302,48 @@ func (p *Population) EncodeState(e *wire.Enc) {
 // caller (the engine's Restore) validates that every tracker's restored
 // length matches.
 func (p *Population) DecodeState(d *wire.Dec) error {
-	n := d.Count(8, "agent") // 8 payload bytes per agent record
+	n := d.Count(agentRecordSize, "agent")
 	if err := d.Err(); err != nil {
 		return err
 	}
-	states := make([]agent.State, 0, n+n/2)
-	for i := 0; i < n; i++ {
-		s := agent.State{
-			Round:      d.U32(),
-			Active:     d.Bool(),
-			Color:      d.U8(),
-			Recruiting: d.Bool(),
-			ToRecruit:  int8(d.U8()),
+	raw := d.Raw(n * agentRecordSize)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	states := make([]agent.State, n, n+n/2)
+	// Parse sharded; boolean strictness (a non-0/1 byte is corruption, as
+	// with Dec.Bool) is preserved via a per-shard flag folded after the join.
+	w := 1
+	if p.pool != nil {
+		w = p.pool.Shards(n, minEncodeShard)
+	}
+	bad := make([]bool, w)
+	parse := func(k int) {
+		lo, hi := k*n/w, (k+1)*n/w
+		for i := lo; i < hi; i++ {
+			r := raw[i*agentRecordSize : i*agentRecordSize+agentRecordSize]
+			if r[4] > 1 || r[6] > 1 {
+				bad[k] = true
+				return
+			}
+			states[i] = agent.State{
+				Round:      binary.LittleEndian.Uint32(r[0:4]),
+				Active:     r[4] == 1,
+				Color:      r[5],
+				Recruiting: r[6] == 1,
+				ToRecruit:  int8(r[7]),
+			}
 		}
-		states = append(states, s)
 	}
-	if err := d.Err(); err != nil {
-		return err
+	if p.pool != nil && w > 1 {
+		p.pool.RunN(w, parse)
+	} else {
+		parse(0)
+	}
+	for _, b := range bad {
+		if b {
+			return fmt.Errorf("wire: snapshot bool out of range")
+		}
 	}
 	p.states = states
 	return nil

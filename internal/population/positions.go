@@ -1,8 +1,16 @@
 package population
 
 import (
+	"encoding/binary"
+	"math"
+
+	"popstab/internal/pool"
 	"popstab/internal/wire"
 )
+
+// pointRecordSize is the snapshot payload size of one Point: X then Y as
+// IEEE-754 bits.
+const pointRecordSize = 16
 
 // Point is a position on the unit 2-torus. The model's agents are
 // anonymous and unlocated; positions exist only for spatial communication
@@ -56,13 +64,27 @@ type Positions struct {
 	Spawn func(parent Point) Point
 
 	pos []Point
+	// spare is the displaced double-buffer of the sharded apply scatter,
+	// reused across rounds; daughters stages the serially-drawn daughter
+	// positions of one AppliedPlan pass (see AppliedPlan).
+	spare     []Point
+	daughters []Point
 	// queued holds explicit one-shot placements consumed FIFO by the next
 	// insertions, ahead of the Place seam (the engine queues the adversary's
 	// InsertAt positions here, immediately before the matching insert).
 	queued []Point
+	// pool, when set, shards AppliedPlan's scatter and EncodeState.
+	pool *pool.Pool
 }
 
-var _ Tracker = (*Positions)(nil)
+var (
+	_ Tracker     = (*Positions)(nil)
+	_ PlanApplier = (*Positions)(nil)
+	_ PoolUser    = (*Positions)(nil)
+)
+
+// SetPool implements PoolUser (wired through Population.SetPool).
+func (ps *Positions) SetPool(p *pool.Pool) { ps.pool = p }
 
 // Len reports the number of tracked positions.
 func (ps *Positions) Len() int { return len(ps.pos) }
@@ -117,11 +139,25 @@ func (ps *Positions) place() Point {
 // placement owner between rounds); dropping them would misplace the next
 // insert after restore.
 func (ps *Positions) EncodeState(e *wire.Enc) {
-	e.U64(uint64(len(ps.pos)))
-	for _, pt := range ps.pos {
-		e.F64(pt.X)
-		e.F64(pt.Y)
+	// Bulk form of the historical per-field encode — identical bytes
+	// (16 per point, X then Y as IEEE-754 bits), one Block reservation and a
+	// sharded fill instead of 2n appends.
+	n := len(ps.pos)
+	e.U64(uint64(n))
+	blk := e.Block(n * pointRecordSize)
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := blk[i*pointRecordSize:]
+			binary.LittleEndian.PutUint64(r[0:8], math.Float64bits(ps.pos[i].X))
+			binary.LittleEndian.PutUint64(r[8:16], math.Float64bits(ps.pos[i].Y))
+		}
 	}
+	if ps.pool != nil {
+		ps.pool.Run(n, minEncodeShard, fill)
+	} else {
+		fill(0, n)
+	}
+	// The placement queue is a handful of staged points at most; per-field.
 	e.U64(uint64(len(ps.queued)))
 	for _, pt := range ps.queued {
 		e.F64(pt.X)
@@ -135,18 +171,33 @@ func (ps *Positions) EncodeState(e *wire.Enc) {
 // the matcher from the same configuration before restoring.
 func (ps *Positions) DecodeState(d *wire.Dec) error {
 	readPoints := func(what string) ([]Point, error) {
-		n := d.Count(16, what) // 16 payload bytes per point
+		n := d.Count(pointRecordSize, what)
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
 		if n == 0 {
 			return nil, nil
 		}
-		out := make([]Point, 0, n+n/2)
-		for i := 0; i < n; i++ {
-			out = append(out, Point{X: d.F64(), Y: d.F64()})
+		raw := d.Raw(n * pointRecordSize)
+		if err := d.Err(); err != nil {
+			return nil, err
 		}
-		return out, d.Err()
+		out := make([]Point, n, n+n/2)
+		parse := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r := raw[i*pointRecordSize:]
+				out[i] = Point{
+					X: math.Float64frombits(binary.LittleEndian.Uint64(r[0:8])),
+					Y: math.Float64frombits(binary.LittleEndian.Uint64(r[8:16])),
+				}
+			}
+		}
+		if ps.pool != nil {
+			ps.pool.Run(n, minEncodeShard, parse)
+		} else {
+			parse(0, n)
+		}
+		return out, nil
 	}
 	pos, err := readPoints("position")
 	if err != nil {
@@ -189,4 +240,21 @@ func (ps *Positions) DeletedSwap(i, last int) {
 // order Apply appends daughter states.
 func (ps *Positions) Applied(actions []Action) {
 	ps.pos = ReplayApply(ps.pos, actions, ps.Spawn)
+}
+
+// AppliedPlan implements PlanApplier: the sharded form of Applied. Spawn
+// consumes the matcher's serial placement stream, so daughter positions are
+// drawn FIRST, serially, in exact action order — the same draw order as the
+// historical serial replay, O(births) not O(n) — and staged; the O(n)
+// compaction scatter then shards freely.
+func (ps *Positions) AppliedPlan(plan *ApplyPlan) {
+	idx := plan.SplitIndices()
+	if cap(ps.daughters) < len(idx) {
+		ps.daughters = make([]Point, 0, len(idx)+len(idx)/2)
+	}
+	ps.daughters = ps.daughters[:0]
+	for _, i := range idx {
+		ps.daughters = append(ps.daughters, ps.Spawn(ps.pos[i]))
+	}
+	ps.pos, ps.spare = ApplyPlannedStaged(plan, ps.pos, ps.spare, ps.daughters)
 }

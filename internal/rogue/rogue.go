@@ -110,7 +110,10 @@ type Overlay struct {
 	detectProb     float64
 	roguesPerEpoch int
 
-	meta  []meta
+	meta []meta
+	// spare is the displaced double-buffer of the sharded AppliedPlan
+	// scatter, reused across rounds.
+	spare []meta
 	stats Stats
 
 	// positions and clusterPlace implement clustered infiltration (set by
@@ -127,9 +130,10 @@ type Overlay struct {
 }
 
 var (
-	_ sim.ExtendedStepper = (*Overlay)(nil)
-	_ sim.RoundStarter    = (*Overlay)(nil)
-	_ population.Tracker  = (*Overlay)(nil)
+	_ sim.ExtendedStepper    = (*Overlay)(nil)
+	_ sim.RoundStarter       = (*Overlay)(nil)
+	_ population.Tracker     = (*Overlay)(nil)
+	_ population.PlanApplier = (*Overlay)(nil)
 )
 
 // NewOverlay validates the extension parameters and wraps inner.
@@ -281,6 +285,13 @@ func (o *Overlay) DeletedSwap(i, last int) {
 // StepAt, so both copies wait a full period).
 func (o *Overlay) Applied(actions []population.Action) {
 	o.meta = population.ReplayApply(o.meta, actions, func(parent meta) meta { return parent })
+}
+
+// AppliedPlan implements population.PlanApplier: the sharded form of Applied.
+// Daughter metas are a pure copy of the parent (no randomness), so the plain
+// concurrent scatter applies directly.
+func (o *Overlay) AppliedPlan(plan *population.ApplyPlan) {
+	o.meta, o.spare = population.ApplyPlanned(plan, o.meta, o.spare, func(parent meta) meta { return parent })
 }
 
 // EncodeState implements sim.StateCodec: an identity fingerprint (the

@@ -67,6 +67,7 @@ func (m *Manager) reapExpired() int {
 		// Re-check the touch stamp under the lock: a concurrent access
 		// may have refreshed it after the first screen.
 		if terminal && j.lastTouch.Load() < cutoff {
+			j.sess.Close() // release pool goroutines with the session
 			j.parted = true
 			j.sess = nil
 			j.cond.Broadcast()
@@ -144,6 +145,7 @@ func (m *Manager) hibernate(j *Job) bool {
 		m.ckptErrors.Add(1)
 		return false
 	}
+	j.sess.Close() // release pool goroutines with the hibernated session
 	j.parted = true
 	j.sess = nil
 	j.cond.Broadcast()

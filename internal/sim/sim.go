@@ -37,24 +37,28 @@
 // slot), so swapping the adversary never perturbs protocol coin flips
 // (paired comparison across experiment arms) and per-agent randomness is
 // independent of iteration order. That order-independence is what lets the
-// Compose and Step phases shard across a worker pool (Config.Workers):
-// simulation output is bit-identical for every worker count, including the
-// serial Workers=1 path, for every matcher and program. The matching,
-// apply, and adversary phases stay serial — they are O(γn) or event-bound,
-// and the adversary is sequential by its budget semantics. See DESIGN.md §5
-// for the phase structure.
+// Compose and Step phases shard across a persistent worker pool
+// (Config.Workers, internal/pool): simulation output is bit-identical for
+// every worker count, including the serial Workers=1 path, for every matcher
+// and program. The apply phase shards too, through the population's
+// prefix-sum apply plan, and the randomness-free Compose phase overlaps the
+// matching (the two touch disjoint state — DESIGN.md §10); only the
+// adversary's turn stays serial, sequential by its budget semantics. Engines
+// own their pool: Close releases its goroutines (a closed engine keeps
+// working, serially), and dropped engines are covered by a runtime cleanup.
+// See DESIGN.md §5 for the phase structure and §10 for the parallel design.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"popstab/internal/adversary"
 	"popstab/internal/agent"
 	"popstab/internal/match"
 	"popstab/internal/params"
+	"popstab/internal/pool"
 	"popstab/internal/population"
 	"popstab/internal/prng"
 	"popstab/internal/wire"
@@ -200,6 +204,12 @@ type Engine struct {
 	space   match.Space
 	adv     adversary.Adversary
 	workers int
+	// pool is the persistent worker pool behind every sharded phase
+	// (compose/step, the apply-plan scatter, the spatial matching pipeline,
+	// snapshot encoding) and the compose/matching overlap. Owned by the
+	// engine: Close releases it, and a runtime cleanup releases it for
+	// engines that are simply dropped (hibernated/reaped sessions).
+	pool *pool.Pool
 
 	// proto and xproto are the two program seams; exactly one is non-nil.
 	proto  Stepper
@@ -221,8 +231,11 @@ type Engine struct {
 	actions []population.Action
 	// kill is the extended programs' neighbor-removal mask; nil for plain
 	// Steppers. kill[j] has a unique writer per round (j's matched
-	// neighbor) and is read only by the serial apply phase.
+	// neighbor) and is read only by the kill-fold phase, whose shards read
+	// disjoint ranges.
 	kill []bool
+	// killCounts holds the kill-fold's per-shard kill tallies.
+	killCounts []int
 
 	round uint64
 }
@@ -322,6 +335,20 @@ func buildEngine(cfg Config, pop *population.Population) (*Engine, error) {
 		ws.SetWorkers(workers)
 	}
 
+	// The persistent worker pool behind every sharded phase. It is threaded
+	// to the population (apply-plan scatter, bulk snapshot encode), to every
+	// pool-aware tracker side-array, to the pairing buffers, and to matchers
+	// that shard their matching phase. The cleanup releases the pool's parked
+	// goroutines when an engine is dropped without Close — internal/serve
+	// hibernates and reaps sessions by unreferencing them.
+	e.pool = pool.New(workers)
+	e.pop.SetPool(e.pool)
+	e.pairing.SetPool(e.pool)
+	if ps, ok := matcher.(match.PoolSetter); ok {
+		ps.SetPool(e.pool)
+	}
+	runtime.AddCleanup(e, func(p *pool.Pool) { p.Close() }, e.pool)
+
 	root := prng.New(cfg.Seed)
 	e.protoKey = root.Split().Uint64()
 	e.schedSrc = root.Split()
@@ -348,6 +375,14 @@ func MustNew(cfg Config) *Engine {
 	}
 	return e
 }
+
+// Close releases the engine's parked worker-pool goroutines. The engine
+// stays usable afterwards — a closed pool runs every sharded phase inline —
+// so Close is a resource release, not a shutdown. Idempotent; engines that
+// are dropped without Close are covered by a runtime cleanup, but callers
+// that hold sessions for a long time (internal/serve) close eagerly so the
+// goroutine count tracks the live session count, not the garbage collector.
+func (e *Engine) Close() { e.pool.Close() }
 
 // Population exposes the live population (owned by the engine).
 func (e *Engine) Population() *population.Population { return e.pop }
@@ -419,24 +454,45 @@ func (e *Engine) RunRound() RoundReport {
 	}
 
 	n := e.pop.Len()
-
-	// 2. Matching.
-	e.matcher.SampleMatch(e.pop, e.schedSrc, &e.pairing)
-
-	// 3–5. Compose from pre-round state, deliver, and step — sharded
-	// across the worker pool when the population is large enough to pay
-	// for it.
 	e.ensureScratch(n)
-	e.composeAndStep(n)
+
+	// 2–4. Matching and compose, overlapped. The two phases are provably
+	// independent: compose reads only pre-round agent state and consumes no
+	// randomness (protocol coins are drawn in Step), while SampleMatch reads
+	// only the population size/positions and writes only the pairing and the
+	// matcher's own scratch. On a pool of one the overlap degrades to running
+	// compose inline first — same reads, same writes, same (absence of)
+	// randomness, so output is bit-identical either way (DESIGN.md §10).
+	wait := e.pool.Go(func() { e.composePhase(n) })
+	e.matcher.SampleMatch(e.pop, e.schedSrc, &e.pairing)
+	wait()
+
+	// 5. Deliver and step — sharded across the worker pool when the
+	// population is large enough to pay for it.
+	e.stepPhase(n)
 
 	// 6. Apply fates. Neighbor-kills override the victim's own action (the
-	// victim is removed before it can divide).
+	// victim is removed before it can divide). The fold shards: each shard
+	// folds a disjoint range of the mask into the action array and tallies
+	// its kills, and the (tiny) per-shard tallies sum serially.
 	if e.xproto != nil {
-		for j, killed := range e.kill {
-			if killed {
-				e.actions[j] = population.ActDie
-				rep.Kills++
+		w := e.pool.Shards(n, minShardAgents)
+		if cap(e.killCounts) < w {
+			e.killCounts = make([]int, w)
+		}
+		counts := e.killCounts[:w]
+		e.pool.RunN(w, func(k int) {
+			c := 0
+			for j := k * n / w; j < (k+1)*n/w; j++ {
+				if e.kill[j] {
+					e.actions[j] = population.ActDie
+					c++
+				}
 			}
+			counts[k] = c
+		})
+		for _, c := range counts {
+			rep.Kills += c
 		}
 	}
 	rep.Births, rep.Deaths = e.pop.Apply(e.actions)
@@ -470,111 +526,78 @@ func (e *Engine) ensureScratch(n int) {
 	}
 }
 
-// minShardAgents bounds how finely shardComposeStep shards: below ~1k
-// agents per worker the goroutine spawn and barrier overhead exceeds the
-// step work, so the effective worker count is capped at n/minShardAgents.
-// Output is worker-count-invariant, so the cap is purely a scheduling
-// heuristic.
+// minShardAgents bounds how finely the per-agent phases shard: below ~1k
+// agents per worker the pool wake-up and barrier overhead exceeds the step
+// work, so the effective worker count is capped at n/minShardAgents. Output
+// is worker-count-invariant, so the cap is purely a scheduling heuristic.
 const minShardAgents = 1024
 
-// shardComposeStep partitions [0, n) into up to workers contiguous shards
-// and runs compose over every shard, then — after a barrier, because steps
-// read messages composed by other shards — step over every shard. With one
-// effective worker both callbacks run inline on the caller's goroutine.
-func shardComposeStep(n, workers int, compose, step func(lo, hi int)) {
-	w := workers
-	if lim := n / minShardAgents; w > lim {
-		w = lim
-	}
-	if w <= 1 {
-		compose(0, n)
-		step(0, n)
-		return
-	}
-	var composed, stepped sync.WaitGroup
-	composed.Add(w)
-	stepped.Add(w)
-	for k := 0; k < w; k++ {
-		go func(lo, hi int) {
-			compose(lo, hi)
-			composed.Done()
-			// Barrier: every message must be composed before any step
-			// reads a neighbor's message.
-			composed.Wait()
-			step(lo, hi)
-			stepped.Done()
-		}(k*n/w, (k+1)*n/w)
-	}
-	stepped.Wait()
-}
-
-// composeAndStep runs phases 3–5 of the round over agents [0, n): compose
-// every message from pre-round state, then (after a barrier) execute every
-// agent's protocol step. Each agent's coin flips come from the
-// counter-based stream (protoKey, round, slot), so the result is
-// bit-identical whether the shards run serially or concurrently.
-func (e *Engine) composeAndStep(n int) {
+// composePhase composes every agent's outgoing message from pre-round state
+// (and, for extended programs, clears the kill mask — each slot has exactly
+// one owner, so the clear is race-free and worker-count-invariant), sharded
+// over the worker pool. Compose consumes no randomness, so the phase is
+// trivially order- and worker-count-invariant; the agent array is walked
+// contiguously via the bulk States accessor rather than per-index Ref calls.
+func (e *Engine) composePhase(n int) {
+	states := e.pop.States()
 	if e.xproto != nil {
-		shardComposeStep(n, e.workers, e.composeRangeExt, func(lo, hi int) {
-			var src prng.Source
-			e.stepRangeExt(lo, hi, &src)
+		e.pool.Run(n, minShardAgents, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.kill[i] = false
+				e.msgs[i] = e.xproto.ComposeAt(i, &states[i])
+			}
 		})
 		return
 	}
-	shardComposeStep(n, e.workers, e.composeRange, func(lo, hi int) {
-		var src prng.Source
-		e.stepRange(lo, hi, &src)
+	e.pool.Run(n, minShardAgents, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.msgs[i] = e.proto.Compose(&states[i])
+		}
 	})
 }
 
-// composeRange composes the outgoing messages of agents [lo, hi).
-func (e *Engine) composeRange(lo, hi int) {
-	for i := lo; i < hi; i++ {
-		e.msgs[i] = e.proto.Compose(e.pop.Ref(i))
+// stepPhase delivers every agent's neighbor message and executes its
+// protocol step, sharded over the worker pool. Each agent's coin flips come
+// from the counter-based stream (protoKey, round, slot) — reseeded per
+// agent from a shard-private source — so the result is bit-identical
+// whether the shards run serially or concurrently. Extended programs
+// additionally route neighbor-kills into the mask (unique writer per
+// victim: its matched neighbor).
+func (e *Engine) stepPhase(n int) {
+	states := e.pop.States()
+	if e.xproto != nil {
+		e.pool.Run(n, minShardAgents, func(lo, hi int) {
+			var src prng.Source
+			for i := lo; i < hi; i++ {
+				src.SeedCounter(e.protoKey, e.round, uint64(i))
+				j := e.pairing.Nbr[i]
+				var msg wire.Message
+				hasNbr := j != match.Unmatched
+				if hasNbr {
+					msg = e.xproto.Decode(e.msgs[j])
+				}
+				act, killNbr := e.xproto.StepAt(i, int(j), &states[i], msg, hasNbr, &src)
+				e.actions[i] = act
+				if killNbr && hasNbr {
+					e.kill[j] = true
+				}
+			}
+		})
+		return
 	}
-}
-
-// stepRange delivers and steps agents [lo, hi), reseeding src per agent.
-func (e *Engine) stepRange(lo, hi int, src *prng.Source) {
-	for i := lo; i < hi; i++ {
-		src.SeedCounter(e.protoKey, e.round, uint64(i))
-		j := e.pairing.Nbr[i]
-		var msg wire.Message
-		hasNbr := j != match.Unmatched
-		if hasNbr {
-			msg = e.proto.Decode(e.msgs[j])
+	e.pool.Run(n, minShardAgents, func(lo, hi int) {
+		var src prng.Source
+		for i := lo; i < hi; i++ {
+			src.SeedCounter(e.protoKey, e.round, uint64(i))
+			j := e.pairing.Nbr[i]
+			var msg wire.Message
+			hasNbr := j != match.Unmatched
+			if hasNbr {
+				msg = e.proto.Decode(e.msgs[j])
+			}
+			e.actions[i] = e.proto.Step(&states[i], msg, hasNbr, &src)
 		}
-		e.actions[i] = e.proto.Step(e.pop.Ref(i), msg, hasNbr, src)
-	}
-}
-
-// composeRangeExt is composeRange for the extended seam; it also clears the
-// shard's slice of the kill mask (each slot has exactly one owner, so the
-// clear is race-free and worker-count-invariant).
-func (e *Engine) composeRangeExt(lo, hi int) {
-	for i := lo; i < hi; i++ {
-		e.kill[i] = false
-		e.msgs[i] = e.xproto.ComposeAt(i, e.pop.Ref(i))
-	}
-}
-
-// stepRangeExt delivers and steps agents [lo, hi) through the extended
-// seam, reseeding src per agent and routing neighbor-kills into the mask.
-func (e *Engine) stepRangeExt(lo, hi int, src *prng.Source) {
-	for i := lo; i < hi; i++ {
-		src.SeedCounter(e.protoKey, e.round, uint64(i))
-		j := e.pairing.Nbr[i]
-		var msg wire.Message
-		hasNbr := j != match.Unmatched
-		if hasNbr {
-			msg = e.xproto.Decode(e.msgs[j])
-		}
-		act, killNbr := e.xproto.StepAt(i, int(j), e.pop.Ref(i), msg, hasNbr, src)
-		e.actions[i] = act
-		if killNbr && hasNbr {
-			e.kill[j] = true
-		}
-	}
+	})
 }
 
 // RunRounds executes n rounds, returning the last report.

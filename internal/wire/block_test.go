@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestBlockRawRoundTrip checks the bulk record seam: a Block-filled region
+// decodes through Raw byte for byte, interleaved with ordinary primitives,
+// and produces exactly the bytes a per-field encode would.
+func TestBlockRawRoundTrip(t *testing.T) {
+	const n = 1000
+	e := NewEnc()
+	e.Begin(3)
+	e.U64(n)
+	blk := e.Block(8 * n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(blk[8*i:], uint64(i)*0x9E3779B97F4A7C15)
+	}
+	e.U32(0xCAFE) // bulk and per-field appends interleave freely
+	e.End()
+	blob := e.Finish()
+
+	// The per-field twin must produce identical bytes.
+	e2 := NewEnc()
+	e2.Begin(3)
+	e2.U64(n)
+	for i := 0; i < n; i++ {
+		e2.U64(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	e2.U32(0xCAFE)
+	e2.End()
+	if !bytes.Equal(blob, e2.Finish()) {
+		t.Fatal("Block-filled document differs from per-field encode")
+	}
+
+	d, err := NewDec(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(3)
+	if got := d.Count(8, "record"); got != n {
+		t.Fatalf("Count = %d", got)
+	}
+	raw := d.Raw(8 * n)
+	for i := 0; i < n; i++ {
+		if got := binary.LittleEndian.Uint64(raw[8*i:]); got != uint64(i)*0x9E3779B97F4A7C15 {
+			t.Fatalf("record %d = %#x", i, got)
+		}
+	}
+	if got := d.U32(); got != 0xCAFE {
+		t.Fatalf("trailing U32 = %#x", got)
+	}
+	d.End()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockGrowth forces multiple growth steps and checks earlier blocks
+// keep their contents (Block must copy on grow, not alias the old array).
+func TestBlockGrowth(t *testing.T) {
+	e := NewEnc()
+	e.Begin(1)
+	for step := 0; step < 6; step++ {
+		blk := e.Block(3000)
+		for i := range blk {
+			blk[i] = byte(step)
+		}
+	}
+	e.End()
+	d, err := NewDec(e.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(1)
+	for step := 0; step < 6; step++ {
+		raw := d.Raw(3000)
+		for i, b := range raw {
+			if b != byte(step) {
+				t.Fatalf("step %d byte %d = %d", step, i, b)
+			}
+		}
+	}
+	d.End()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRawUnderflow checks Raw fails the decoder cleanly past the payload.
+func TestRawUnderflow(t *testing.T) {
+	e := NewEnc()
+	e.Begin(2)
+	e.U64(1)
+	e.End()
+	d, err := NewDec(e.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Begin(2)
+	if raw := d.Raw(1 << 20); raw != nil {
+		t.Fatalf("underflowing Raw returned %d bytes", len(raw))
+	}
+	if d.Err() == nil {
+		t.Fatal("underflowing Raw left decoder error-free")
+	}
+}

@@ -122,6 +122,25 @@ func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
 // F64 appends a float64 by its IEEE-754 bits, so round-trips are exact.
 func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
 
+// Block appends n bytes and returns the appended region for the caller to
+// fill directly (e.g. with binary.LittleEndian writes). The bulk seam of the
+// sharded snapshot encoders: one Block per record array instead of a
+// per-field append per record, so large-N state capture is one grow plus
+// streaming stores — and the fill itself can fan out across a worker pool.
+// The caller must overwrite every byte of the returned slice (the region is
+// not cleared) before the next Enc call; the slice is invalidated by any
+// subsequent append.
+func (e *Enc) Block(n int) []byte {
+	off := len(e.buf)
+	if cap(e.buf)-off < n {
+		grown := make([]byte, off, (off+n)+(off+n)/2)
+		copy(grown, e.buf)
+		e.buf = grown
+	}
+	e.buf = e.buf[: off+n : cap(e.buf)]
+	return e.buf[off : off+n]
+}
+
 // Bytes appends a length-prefixed byte string.
 func (e *Enc) Bytes(b []byte) {
 	e.U64(uint64(len(b)))
@@ -308,6 +327,13 @@ func (d *Dec) Count(recordSize int, what string) int {
 	}
 	return int(n)
 }
+
+// Raw consumes n raw payload bytes and returns them WITHOUT copying — the
+// decode twin of Enc.Block for bulk record arrays (the caller typically
+// parses the region sharded across a worker pool). The slice aliases the
+// snapshot document; callers must not retain it past decoding. Returns nil
+// (with the decoder failed) on underflow.
+func (d *Dec) Raw(n int) []byte { return d.take(n) }
 
 // Bytes reads a length-prefixed byte string (copied out of the document).
 func (d *Dec) Bytes() []byte {

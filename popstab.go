@@ -510,6 +510,14 @@ func (s *Sim) RunEpochs(n int) []EpochReport { return s.eng.RunEpochs(n) }
 // Census snapshots the population's aggregate state.
 func (s *Sim) Census() Census { return s.eng.Census() }
 
+// Close releases the engine's parked worker-pool goroutines. The simulation
+// stays usable afterwards (sharded phases run inline); idempotent. Callers
+// that hold many simulations concurrently — the job server hibernating or
+// garbage-collecting sessions — close eagerly so goroutine count tracks
+// live work; everyone else may simply drop the Sim (a runtime cleanup
+// covers it).
+func (s *Sim) Close() { s.eng.Close() }
+
 // Counters exposes the paper protocol's event counters (nil for baselines).
 func (s *Sim) Counters() *Counters {
 	if s.proto == nil {

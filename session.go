@@ -95,6 +95,12 @@ func (s *Session) StepEpoch() SessionStats {
 // Stats returns the cumulative stats without advancing.
 func (s *Session) Stats() SessionStats { return s.cum }
 
+// Close releases the session's worker-pool goroutines (see Sim.Close). The
+// session stays usable; idempotent. The job server closes sessions it
+// hibernates or garbage-collects so parked pool goroutines don't outlive
+// the session's residency.
+func (s *Session) Close() { s.sim.Close() }
+
 // sessionTag frames the session layer's snapshot section; the engine
 // document is nested inside it as a byte string.
 const sessionTag uint32 = 100
