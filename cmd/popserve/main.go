@@ -1,10 +1,11 @@
 // Command popserve runs the simulation-as-a-service server: submit
 // popstab.Spec configurations over HTTP, step/pause/resume the resulting
 // sessions, fetch deterministic snapshots, resume them (here or on another
-// popserve), and stream per-step stats over SSE. Identical submissions
-// dedupe to one underlying run (the canonical-config-hash cache; Workers is
-// excluded from the identity because simulation output is bit-identical
-// across worker counts).
+// popserve), long-poll or stream per-step stats, and fetch completed runs
+// from the content-addressed result store. Identical submissions dedupe to
+// one underlying run (the canonical-config-hash cache; Workers is excluded
+// from the identity because simulation output is bit-identical across
+// worker counts).
 //
 // With -checkpoint-dir the server is crash-safe: sessions checkpoint to
 // disk on a round cadence and on graceful shutdown, and a restarted server
@@ -13,16 +14,33 @@
 // drains cleanly: admissions stop (readyz flips to 503), in-flight quanta
 // park, live sessions checkpoint, then the HTTP listener closes.
 //
+// popserve federates. One instance started with -coordinator routes
+// submissions across workers that started with -join; the coordinator
+// speaks the same /v1 API, so clients need not know they are talking to a
+// fleet. Sessions migrate between workers over the snapshot wire codec
+// (drain a worker via POST /v1/workers/{id}/drain), dead workers' sessions
+// are replayed onto survivors, and the dedupe cache becomes a fleet-wide
+// content-addressed result store.
+//
 // Examples:
 //
 //	popserve -addr :8080 -checkpoint-dir /var/lib/popserve
 //	curl -s localhost:8080/v1/sessions -d '{"spec":{"n":4096,"tinner":24,"seed":1},"rounds":288}'
 //	curl -s localhost:8080/v1/sessions/s-000001
+//	curl -s localhost:8080/v1/sessions/s-000001/wait?status=done\&timeout=30s
 //	curl -s localhost:8080/v1/sessions/s-000001/snapshot > snap.json
 //	curl -s localhost:8080/v1/sessions -d "$(jq '{spec,snapshot,rounds:144}' snap.json)"
 //	curl -N localhost:8080/v1/sessions/s-000001/stream
 //	curl -s localhost:8080/v1/readyz
 //	curl -s localhost:8080/v1/metrics
+//
+// Fleet:
+//
+//	popserve -coordinator -addr :8090
+//	popserve -addr :8091 -join http://localhost:8090
+//	popserve -addr :8092 -join http://localhost:8090
+//	curl -s localhost:8090/v1/sessions -d '{"spec":{"n":4096,"tinner":24,"seed":1},"rounds":288}'
+//	curl -s localhost:8090/v1/workers
 package main
 
 import (
@@ -31,13 +49,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
+	"popstab/internal/cluster"
 	"popstab/internal/serve"
 )
 
@@ -64,9 +86,58 @@ func run(args []string) error {
 		submitRate    = fs.Float64("submit-rate", 0, "admission gate: sustained submissions/sec (0: unlimited)")
 		submitBurst   = fs.Int("submit-burst", 0, "admission gate: burst allowance (0: rate rounded up)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget (drain + final checkpoints)")
+
+		coordinator   = fs.Bool("coordinator", false, "run as a fleet coordinator instead of a worker (routes to -join'ed popserves)")
+		routerName    = fs.String("router", "affinity", "coordinator routing policy: affinity, round-robin, or least-loaded")
+		workerTTL     = fs.Duration("worker-ttl", 10*time.Second, "coordinator: expire workers whose heartbeat is older than this (sessions fail over)")
+		sweepInterval = fs.Duration("sweep-interval", 2*time.Second, "coordinator: expiry/failover pass cadence")
+		join          = fs.String("join", "", "worker: coordinator base URL to register with (http://host:port)")
+		advertise     = fs.String("advertise", "", "worker: base URL the coordinator should dial back (default: derived from -addr)")
+		heartbeat     = fs.Duration("heartbeat", 2*time.Second, "worker: re-registration cadence (keep well under the coordinator's -worker-ttl)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *coordinator {
+		router, err := cluster.NewRouter(*routerName)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		co := cluster.NewCoordinator(cluster.Config{
+			Router:        router,
+			WorkerTTL:     *workerTTL,
+			SweepInterval: *sweepInterval,
+			SubmitRate:    *submitRate,
+			SubmitBurst:   *submitBurst,
+		})
+		srv := &http.Server{Handler: cluster.NewHandler(co), ReadHeaderTimeout: 10 * time.Second}
+		errCh := make(chan error, 1)
+		go func() { errCh <- srv.Serve(ln) }()
+		log.Printf("popserve coordinating on %s (router %s, worker TTL %s)", ln.Addr(), router.Name(), *workerTTL)
+		select {
+		case err := <-errCh:
+			co.Close()
+			return err
+		case <-ctx.Done():
+		}
+		log.Printf("popserve coordinator draining (budget %s)", *drainTimeout)
+		co.Close()
+		shctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
 	}
 
 	cfg := serve.Config{
@@ -84,6 +155,7 @@ func run(args []string) error {
 	if *ckptDir != "" {
 		store, err := serve.NewFSStore(*ckptDir)
 		if err != nil {
+			ln.Close()
 			return fmt.Errorf("checkpoint store: %w", err)
 		}
 		cfg.Store = store
@@ -93,6 +165,7 @@ func run(args []string) error {
 	if cfg.Store != nil {
 		n, err := m.Recover()
 		if err != nil {
+			ln.Close()
 			return fmt.Errorf("recover from %s: %w", *ckptDir, err)
 		}
 		if n > 0 {
@@ -100,18 +173,33 @@ func run(args []string) error {
 		}
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           serve.NewHandler(m),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	srv := &http.Server{Handler: serve.NewHandler(m), ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- srv.Serve(ln) }()
 	log.Printf("popserve listening on %s (pool %d, quantum %d rounds, checkpoints %s)",
-		*addr, *maxConcurrent, *quantum, describeStore(*ckptDir))
+		ln.Addr(), *maxConcurrent, *quantum, describeStore(*ckptDir))
+
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = deriveAdvertise(ln.Addr())
+		}
+		var once sync.Once
+		err := cluster.Join(ctx, cluster.JoinConfig{
+			Coordinator: *join,
+			Advertise:   adv,
+			Readiness:   m.Readiness,
+			Interval:    *heartbeat,
+			OnRegister: func(reg cluster.RegisterResponse) {
+				once.Do(func() { log.Printf("popserve joined %s as %s (advertising %s)", *join, reg.ID, adv) })
+			},
+		})
+		if err != nil {
+			m.Close()
+			ln.Close()
+			return err
+		}
+	}
 
 	select {
 	case err := <-errCh:
@@ -123,7 +211,8 @@ func run(args []string) error {
 	// Ordered drain: stop admissions and park runners first (readyz flips
 	// to 503 and open SSE streams end immediately), checkpoint every live
 	// session, then close the listener — which can now finish because no
-	// handler is stuck behind a stepping quantum.
+	// handler is stuck behind a stepping quantum. Heartbeats stopped with
+	// ctx, so a coordinator fails our sessions over after its worker TTL.
 	log.Printf("popserve draining (budget %s)", *drainTimeout)
 	shctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -134,6 +223,20 @@ func run(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// deriveAdvertise turns the bound listener address into a dialable base
+// URL: an unspecified host (":8080") advertises loopback.
+func deriveAdvertise(a net.Addr) string {
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok {
+		return "http://" + a.String()
+	}
+	host := "127.0.0.1"
+	if tcp.IP != nil && !tcp.IP.IsUnspecified() {
+		host = tcp.IP.String()
+	}
+	return "http://" + net.JoinHostPort(host, strconv.Itoa(tcp.Port))
 }
 
 // describeStore renders the checkpoint configuration for the boot log line.

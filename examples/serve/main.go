@@ -167,11 +167,9 @@ func get(base, path string, out any) error {
 func decode(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-		}
+		var e serve.ErrorBody
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+		return fmt.Errorf("HTTP %d: %s: %s", resp.StatusCode, e.Error.Code, e.Error.Message)
 	}
 	if out == nil {
 		return nil

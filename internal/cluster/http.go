@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"popstab/internal/serve"
+)
+
+// HTTP surface of the coordinator: the worker /v1 contract plus the fleet
+// routes, all on the same error envelope (serve.WriteError), so a client
+// pointed at a coordinator cannot tell it from a single popserve:
+//
+//	POST /v1/workers                 register / heartbeat
+//	GET  /v1/workers                 fleet listing
+//	POST /v1/workers/{id}/drain      migrate sessions off + deregister
+//	POST /v1/sessions                route a submission (dedupe index first)
+//	GET  /v1/sessions                coordinator session index
+//	GET  /v1/sessions/{id}[...]      proxied to the owning worker
+//	GET  /v1/results/{hash}          content-addressed fleet result store
+//	GET  /v1/healthz                 liveness
+//	GET  /v1/readyz                  aggregate worker health
+//	GET  /v1/metrics                 coordinator + fleet-summed + per-worker
+
+// NewHandler exposes the coordinator over HTTP.
+func NewHandler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			serve.WriteError(w, serve.BadRequest(fmt.Errorf("bad request body: %w", err)))
+			return
+		}
+		resp, err := c.Register(req)
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, c.Workers())
+	})
+	mux.HandleFunc("POST /v1/workers/{id}/drain", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := c.Drain(r.Context(), r.PathValue("id"))
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "coordinator"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := c.Readiness()
+		code := http.StatusOK
+		if !rd.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		serve.WriteJSON(w, code, rd)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, c.Metrics(r.Context()))
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			serve.WriteError(w, serve.BadRequest(fmt.Errorf("bad request body: %w", err)))
+			return
+		}
+		resp, err := c.Submit(r.Context(), req)
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, c.List())
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := c.Info(r.Context(), r.PathValue("id"))
+		writeInfo(w, info, err)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/step", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.StepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			serve.WriteError(w, serve.BadRequest(fmt.Errorf("bad request body: %w", err)))
+			return
+		}
+		if req.Rounds == 0 {
+			serve.WriteError(w, serve.BadRequest(fmt.Errorf("step of 0 rounds")))
+			return
+		}
+		info, err := c.Step(r.Context(), r.PathValue("id"), req.Rounds)
+		writeInfo(w, info, err)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/pause", func(w http.ResponseWriter, r *http.Request) {
+		info, err := c.Pause(r.Context(), r.PathValue("id"))
+		writeInfo(w, info, err)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		info, err := c.Resume(r.Context(), r.PathValue("id"))
+		writeInfo(w, info, err)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := c.Snapshot(r.Context(), r.PathValue("id"))
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/wait", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := c.Wait(r.Context(), r.PathValue("id"), r.URL.RawQuery)
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		c.streamProxy(w, r, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := c.Result(r.Context(), r.PathValue("hash"))
+		if err != nil {
+			serve.WriteError(w, err)
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// writeInfo finishes a proxied info-returning op.
+func writeInfo(w http.ResponseWriter, info serve.JobInfo, err error) {
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, info)
+}
+
+// streamProxy pipes the owning worker's SSE feed through, flushing per
+// chunk so events and heartbeats arrive live. Events carry the worker-side
+// session ID in their payloads; the coordinator ID is the one in the
+// request path.
+func (c *Coordinator) streamProxy(w http.ResponseWriter, r *http.Request, id string) {
+	s, url, rid, err := c.lookup(id)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		serve.WriteError(w, &serve.APIError{
+			Status: http.StatusNotImplemented,
+			Code:   serve.CodeUnsupported,
+			Err:    fmt.Errorf("streaming unsupported by this connection"),
+		})
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+"/v1/sessions/"+rid+"/stream", nil)
+	if err != nil {
+		serve.WriteError(w, err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		uerr := &serve.APIError{
+			Status: http.StatusBadGateway,
+			Code:   serve.CodeWorkerUnreachable,
+			Err:    fmt.Errorf("cluster: stream: %w", err),
+		}
+		c.noteProxyError(s, uerr)
+		serve.WriteError(w, uerr)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			fl.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}

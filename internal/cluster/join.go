@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"popstab/internal/serve"
+)
+
+// JoinConfig parameterizes a worker's membership in a fleet.
+type JoinConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Advertise is this worker's base URL as the coordinator should dial
+	// it.
+	Advertise string
+	// Readiness supplies the heartbeat payload (the manager's Readiness
+	// method).
+	Readiness func() serve.Readiness
+	// Interval is the heartbeat cadence (0 = 2s). Keep it well under the
+	// coordinator's WorkerTTL.
+	Interval time.Duration
+	// Client performs the calls (nil = a 5s-timeout client).
+	Client *http.Client
+	// OnRegister, when set, observes each successful heartbeat (first
+	// registration included) — cmd/popserve logs the assigned ID once.
+	OnRegister func(RegisterResponse)
+}
+
+// Join heartbeats the coordinator until ctx ends: one immediate
+// registration (its error is returned so a worker pointed at a dead
+// coordinator fails fast at startup), then re-registration every Interval.
+// Later failures are retried silently — the coordinator holds the
+// registration for its WorkerTTL, so a blip shorter than that is invisible.
+func Join(ctx context.Context, cfg JoinConfig) error {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if err := register(ctx, cfg); err != nil {
+		return fmt.Errorf("cluster: join %s: %w", cfg.Coordinator, err)
+	}
+	go func() {
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				_ = register(ctx, cfg)
+			}
+		}
+	}()
+	return nil
+}
+
+// register performs one heartbeat.
+func register(ctx context.Context, cfg JoinConfig) error {
+	body := RegisterRequest{URL: cfg.Advertise}
+	if cfg.Readiness != nil {
+		body.Readiness = cfg.Readiness()
+	}
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Coordinator+"/v1/workers", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %d", resp.StatusCode)
+	}
+	var reg RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return err
+	}
+	if cfg.OnRegister != nil {
+		cfg.OnRegister(reg)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The v1 error contract. Every non-2xx response from a popserve — worker or
+// coordinator — carries exactly one body shape:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": 1000}}
+//
+// Code is a stable machine-readable identifier (the strings below are API,
+// not prose); Message is human diagnostic text; RetryAfterMS appears only on
+// retryable rejections (throttling) and mirrors the Retry-After header.
+// Clients branch on Code and the HTTP status, never on Message.
+//
+// The error→status mapping lives in one place (statusOf); handlers hand any
+// error to WriteError and the envelope falls out. Package cluster reuses the
+// same helpers so the coordinator and its workers are indistinguishable to a
+// client.
+
+// Error codes of the v1 surface.
+const (
+	// CodeBadRequest: malformed request (unparseable body, bad query
+	// parameter, zero-round step). HTTP 400.
+	CodeBadRequest = "bad_request"
+	// CodeInvalidSpec: the submitted spec cannot describe a simulation
+	// (unknown registry name, inadmissible N, conflicting axes). HTTP 422.
+	CodeInvalidSpec = "invalid_spec"
+	// CodeUnknownSession: no session with that ID was ever seen. HTTP 404.
+	CodeUnknownSession = "unknown_session"
+	// CodeSessionExpired: the session existed but was reaped after its TTL
+	// — a valid ID that is durably gone, not a typo. HTTP 410.
+	CodeSessionExpired = "session_expired"
+	// CodeSessionFailed: the session is terminal-failed; the message carries
+	// the failure. HTTP 409.
+	CodeSessionFailed = "session_failed"
+	// CodeHibernated: a stale handle raced hibernation; re-resolve the ID.
+	// HTTP 409.
+	CodeHibernated = "hibernated"
+	// CodeConflict: the operation is invalid in the session's current state.
+	// HTTP 409.
+	CodeConflict = "conflict"
+	// CodeThrottled: admission-gate rejection; retry_after_ms hints the
+	// backoff. HTTP 429.
+	CodeThrottled = "throttled"
+	// CodeDraining: the server is shutting down; no new work. HTTP 503.
+	CodeDraining = "draining"
+	// CodeCapacity: the session registry is full and nothing could be
+	// hibernated. HTTP 503.
+	CodeCapacity = "capacity"
+	// CodeUnknownResult: no result is stored under that spec hash. HTTP 404.
+	CodeUnknownResult = "unknown_result"
+	// CodeResultPending: the hash is known but its run has not completed.
+	// HTTP 409.
+	CodeResultPending = "result_pending"
+	// CodeTimeout: the operation's deadline expired server-side. HTTP 504.
+	CodeTimeout = "timeout"
+	// CodeUnsupported: the transport cannot satisfy the request (e.g. SSE
+	// over a connection that cannot stream). HTTP 501.
+	CodeUnsupported = "unsupported"
+	// CodeNoWorkers: a coordinator has no live worker to route to. HTTP 503.
+	CodeNoWorkers = "no_workers"
+	// CodeWorkerUnreachable: the owning worker did not answer the proxied
+	// call. HTTP 502.
+	CodeWorkerUnreachable = "worker_unreachable"
+	// CodeUnknownWorker: no registered worker under that ID. HTTP 404.
+	CodeUnknownWorker = "unknown_worker"
+	// CodeInternal: unclassified server error. HTTP 500.
+	CodeInternal = "internal"
+)
+
+// ErrorInfo is the payload inside the envelope.
+type ErrorInfo struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorBody is the uniform non-2xx response body.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// APIError carries an explicit status/code pair for errors born at the
+// transport layer (bad bodies, proxy failures) that have no manager sentinel
+// to map from. It wraps an underlying error for errors.Is/As chains.
+type APIError struct {
+	Status     int
+	Code       string
+	Err        error
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *APIError) Unwrap() error { return e.Err }
+
+// statusOf is THE typed error→status mapping of the v1 surface: every
+// handler error funnels through here exactly once.
+func statusOf(err error) (status int, code string, retryAfter time.Duration) {
+	var apiErr *APIError
+	var throttled *ThrottledError
+	switch {
+	case errors.As(err, &apiErr):
+		return apiErr.Status, apiErr.Code, apiErr.RetryAfter
+	case errors.As(err, &throttled):
+		return http.StatusTooManyRequests, CodeThrottled, throttled.RetryAfter
+	case errors.Is(err, ErrUnknownSession):
+		return http.StatusNotFound, CodeUnknownSession, 0
+	case errors.Is(err, ErrSessionExpired):
+		return http.StatusGone, CodeSessionExpired, 0
+	case errors.Is(err, ErrSessionFailed):
+		return http.StatusConflict, CodeSessionFailed, 0
+	case errors.Is(err, ErrHibernated):
+		return http.StatusConflict, CodeHibernated, 0
+	case errors.Is(err, ErrInvalidSpec):
+		return http.StatusUnprocessableEntity, CodeInvalidSpec, 0
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, CodeDraining, 0
+	case errors.Is(err, errFull):
+		return http.StatusServiceUnavailable, CodeCapacity, 0
+	case errors.Is(err, ErrNoResult):
+		return http.StatusNotFound, CodeUnknownResult, 0
+	case errors.Is(err, ErrResultPending):
+		return http.StatusConflict, CodeResultPending, 0
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeTimeout, 0
+	default:
+		return http.StatusInternalServerError, CodeInternal, 0
+	}
+}
+
+// ErrorCode maps err through the same table WriteError uses and returns the
+// envelope code a client would see — for callers (and tests) that branch on
+// the contract without an HTTP round trip.
+func ErrorCode(err error) string {
+	if err == nil {
+		return ""
+	}
+	_, code, _ := statusOf(err)
+	return code
+}
+
+// WriteError maps err through the typed table and writes the envelope.
+// Throttled rejections also carry the conventional Retry-After header
+// (seconds, rounded up) alongside the precise retry_after_ms.
+func WriteError(w http.ResponseWriter, err error) {
+	status, code, retry := statusOf(err)
+	info := ErrorInfo{Code: code, Message: err.Error()}
+	if retry > 0 {
+		info.RetryAfterMS = int64(retry / time.Millisecond)
+		secs := int(math.Ceil(retry.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	WriteJSON(w, status, ErrorBody{Error: info})
+}
+
+// WriteJSON writes a JSON response.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// BadRequest wraps err as a 400 bad_request APIError.
+func BadRequest(err error) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Code: CodeBadRequest, Err: err}
+}

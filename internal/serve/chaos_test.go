@@ -212,10 +212,16 @@ func TestHTTPThrottleRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("burst submission: HTTP %d", resp.StatusCode)
 	}
-	var e errorResponse
+	var e ErrorBody
 	resp = post(t, ts, "/v1/sessions", SubmitRequest{Spec: quickSpec(96), Rounds: 32}, &e)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-rate submission: HTTP %d, want 429", resp.StatusCode)
+	}
+	if e.Error.Code != CodeThrottled {
+		t.Fatalf("throttle envelope code %q, want %q", e.Error.Code, CodeThrottled)
+	}
+	if e.Error.RetryAfterMS <= 0 {
+		t.Fatalf("throttle envelope retry_after_ms %d, want > 0", e.Error.RetryAfterMS)
 	}
 	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
 	if err != nil || secs < 1 {
@@ -228,14 +234,16 @@ func TestHealthAndReadiness(t *testing.T) {
 	ts := httptest.NewServer(NewHandler(m))
 	defer ts.Close()
 
-	for _, path := range []string{"/healthz", "/v1/healthz"} {
-		if resp := get(t, ts, path, nil); resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
-		}
+	if resp := get(t, ts, "/v1/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/healthz: HTTP %d", resp.StatusCode)
+	}
+	// The unversioned aliases are gone: /v1 routes are the contract.
+	if resp := get(t, ts, "/healthz", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /healthz (removed alias): HTTP %d, want 404", resp.StatusCode)
 	}
 	var rd Readiness
-	if resp := get(t, ts, "/readyz", &rd); resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /readyz: HTTP %d", resp.StatusCode)
+	if resp := get(t, ts, "/v1/readyz", &rd); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/readyz: HTTP %d", resp.StatusCode)
 	}
 	if !rd.Ready || rd.Draining || !rd.AdmissionOpen || rd.Slots == 0 {
 		t.Fatalf("idle readiness %+v", rd)
@@ -246,19 +254,22 @@ func TestHealthAndReadiness(t *testing.T) {
 	if err := m.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if resp := get(t, ts, "/readyz", &rd); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining /readyz: HTTP %d, want 503", resp.StatusCode)
+	if resp := get(t, ts, "/v1/readyz", &rd); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /v1/readyz: HTTP %d, want 503", resp.StatusCode)
 	}
 	if rd.Ready || !rd.Draining {
 		t.Fatalf("draining readiness %+v", rd)
 	}
-	if resp := get(t, ts, "/healthz", nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("draining /healthz: HTTP %d, want 200", resp.StatusCode)
+	if resp := get(t, ts, "/v1/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining /v1/healthz: HTTP %d, want 200", resp.StatusCode)
 	}
-	// And submissions answer 503, not a hang.
-	var e errorResponse
+	// And submissions answer 503 draining, not a hang.
+	var e ErrorBody
 	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: quickSpec(97), Rounds: 8}, &e); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining submission: HTTP %d, want 503", resp.StatusCode)
+	}
+	if e.Error.Code != CodeDraining {
+		t.Fatalf("draining envelope code %q, want %q", e.Error.Code, CodeDraining)
 	}
 }
 
@@ -381,7 +392,7 @@ func TestSubmitAfterCloseEveryPath(t *testing.T) {
 	if _, _, err := m.Submit(context.Background(), quickSpec(88), 32); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after close: %v", err)
 	}
-	if _, err := m.Restore(context.Background(), quickSpec(88), []byte("x"), 32); !errors.Is(err, ErrClosed) {
+	if _, err := m.Restore(context.Background(), quickSpec(88), []byte("x"), 32, false); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Restore after close: %v", err)
 	}
 	// A pre-drain handle still reads, and a cancelled caller context is

@@ -73,6 +73,7 @@ func (m *Manager) reapExpired() int {
 			j.cond.Broadcast()
 			j.mu.Unlock()
 			m.forget(j, false)
+			m.recordReaped(j.id)
 			j.dropCheckpoint()
 			m.reaps.Add(1)
 			n++

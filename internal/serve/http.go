@@ -1,19 +1,19 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"time"
 
 	"popstab"
 )
 
-// HTTP surface of the manager. Snapshot bytes travel base64-encoded inside
-// JSON (encoding/json's []byte convention), so the whole API is
-// curl-friendly:
+// HTTP surface of the manager — the worker half of the v1 contract (the
+// coordinator in internal/cluster re-exposes the same routes). Snapshot
+// bytes travel base64-encoded inside JSON (encoding/json's []byte
+// convention), so the whole API is curl-friendly:
 //
 //	POST /v1/sessions                   {"spec": {...}, "rounds": N}       submit (deduped; 429 + Retry-After when throttled)
 //	POST /v1/sessions                   {"spec", "snapshot", "rounds"}     restore + continue
@@ -24,12 +24,16 @@ import (
 //	POST /v1/sessions/{id}/resume                                          unpark
 //	GET  /v1/sessions/{id}/snapshot                                        spec + snapshot bytes
 //	GET  /v1/sessions/{id}/stream                                          SSE stats feed (heartbeat comments while idle)
-//	GET  /v1/healthz   (also /healthz)                                     liveness
-//	GET  /v1/readyz    (also /readyz)                                      readiness: slot-pool saturation + admission-gate state; 503 while draining/saturated
+//	GET  /v1/sessions/{id}/wait?status=done&timeout=30s                    long-poll until the session reaches a status
+//	GET  /v1/results/{hash}                                                content-addressed result: completed run for a Spec.Hash
+//	GET  /v1/healthz                                                       liveness
+//	GET  /v1/readyz                                                        readiness: slot-pool saturation + admission-gate state; 503 while draining/saturated
 //	GET  /v1/metrics                                                       run/dedupe/failure/checkpoint counters
 //
-// Hibernated sessions are revived transparently by the {id} lookup; a
-// draining server answers control calls with 503.
+// Every non-2xx response carries the unified error envelope (see api.go);
+// unknown IDs are 404 unknown_session while IDs reaped after their TTL are
+// 410 session_expired. Hibernated sessions are revived transparently by the
+// {id} lookup; a draining server answers control calls with 503.
 
 // SubmitRequest is the POST /v1/sessions body.
 type SubmitRequest struct {
@@ -41,6 +45,10 @@ type SubmitRequest struct {
 	// Snapshot, when present, restores a previously fetched snapshot
 	// under Spec instead of starting fresh (base64 in JSON).
 	Snapshot []byte `json:"snapshot,omitempty"`
+	// Paused parks the session on arrival (restore only): migration of a
+	// paused session must not run rounds on the new host before the park
+	// lands.
+	Paused bool `json:"paused,omitempty"`
 }
 
 // SubmitResponse answers a submission.
@@ -66,10 +74,30 @@ type SnapshotResponse struct {
 	Snapshot []byte `json:"snapshot"`
 }
 
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
+// WaitResponse answers a long-poll. Reached reports whether the requested
+// status was observed; false means the wait timed out (or the session hit a
+// terminal state first) and Info carries whatever state it was in.
+type WaitResponse struct {
+	Reached bool    `json:"reached"`
+	Info    JobInfo `json:"info"`
 }
+
+// ResultResponse is the content-addressed result payload: the completed
+// session answering for a spec hash, with its restorable snapshot.
+type ResultResponse struct {
+	Hash     string       `json:"hash"`
+	ID       string       `json:"id"`
+	Spec     popstab.Spec `json:"spec"`
+	Info     JobInfo      `json:"info"`
+	Snapshot []byte       `json:"snapshot"`
+}
+
+// Long-poll bounds: the default when ?timeout is absent and the cap a
+// client cannot exceed (so a stuck client cannot pin a handler forever).
+const (
+	defaultWaitTimeout = 30 * time.Second
+	maxWaitTimeout     = 5 * time.Minute
+)
 
 // streamHeartbeat is the idle-stream keepalive cadence: SSE comment lines
 // emitted so proxies and LBs do not reap quiet connections. A variable so
@@ -79,30 +107,24 @@ var streamHeartbeat = 15 * time.Second
 // NewHandler exposes m over HTTP.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	healthz := func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	}
-	readyz := func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
 		rd := m.Readiness()
 		code := http.StatusOK
 		if !rd.Ready {
 			code = http.StatusServiceUnavailable
 		}
-		writeJSON(w, code, rd)
-	}
-	// Registered under /v1 like the rest of the API and at the bare paths
-	// load balancers conventionally probe.
-	mux.HandleFunc("GET /v1/healthz", healthz)
-	mux.HandleFunc("GET /healthz", healthz)
-	mux.HandleFunc("GET /v1/readyz", readyz)
-	mux.HandleFunc("GET /readyz", readyz)
+		WriteJSON(w, code, rd)
+	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Metrics())
+		WriteJSON(w, http.StatusOK, m.Metrics())
 	})
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req SubmitRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			WriteError(w, BadRequest(fmt.Errorf("bad request body: %w", err)))
 			return
 		}
 		var (
@@ -111,93 +133,130 @@ func NewHandler(m *Manager) http.Handler {
 			err     error
 		)
 		if len(req.Snapshot) > 0 {
-			j, err = m.Restore(r.Context(), req.Spec, req.Snapshot, req.Rounds)
+			j, err = m.Restore(r.Context(), req.Spec, req.Snapshot, req.Rounds, req.Paused)
 		} else {
 			j, deduped, err = m.Submit(r.Context(), req.Spec, req.Rounds)
 		}
 		if err != nil {
-			writeSubmitError(w, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, SubmitResponse{ID: j.ID(), Deduped: deduped, Info: j.Info()})
+		WriteJSON(w, http.StatusOK, SubmitResponse{ID: j.ID(), Deduped: deduped, Info: j.Info()})
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.List())
+		WriteJSON(w, http.StatusOK, m.List())
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, j.Info())
+		WriteJSON(w, http.StatusOK, j.Info())
 	}))
 	mux.HandleFunc("POST /v1/sessions/{id}/step", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
 		var req StepRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			WriteError(w, BadRequest(fmt.Errorf("bad request body: %w", err)))
+			return
+		}
+		if req.Rounds == 0 {
+			WriteError(w, BadRequest(fmt.Errorf("step of 0 rounds")))
 			return
 		}
 		if err := j.Step(req.Rounds); err != nil {
-			writeError(w, http.StatusConflict, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, j.Info())
+		WriteJSON(w, http.StatusOK, j.Info())
 	}))
 	mux.HandleFunc("POST /v1/sessions/{id}/pause", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
 		if err := j.Pause(); err != nil {
-			writeError(w, http.StatusConflict, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, j.Info())
+		WriteJSON(w, http.StatusOK, j.Info())
 	}))
 	mux.HandleFunc("POST /v1/sessions/{id}/resume", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
 		if err := j.Resume(); err != nil {
-			writeError(w, http.StatusConflict, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, j.Info())
+		WriteJSON(w, http.StatusOK, j.Info())
 	}))
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", withJob(m, func(j *Job, w http.ResponseWriter, r *http.Request) {
 		spec, blob, err := j.Snapshot(r.Context())
 		if err != nil {
-			writeError(w, http.StatusConflict, err)
+			WriteError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, SnapshotResponse{ID: j.ID(), Spec: spec, Snapshot: blob})
+		WriteJSON(w, http.StatusOK, SnapshotResponse{ID: j.ID(), Spec: spec, Snapshot: blob})
 	}))
+	mux.HandleFunc("GET /v1/sessions/{id}/wait", withJob(m, waitHandler))
 	mux.HandleFunc("GET /v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := m.Get(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		j, err := m.Lookup(r.PathValue("id"))
+		if err != nil {
+			WriteError(w, err)
 			return
 		}
 		streamHandler(m, j, w, r)
 	})
+	mux.HandleFunc("GET /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		j, err := m.ResultByHash(hash)
+		if err != nil {
+			WriteError(w, err)
+			return
+		}
+		spec, blob, err := j.Snapshot(r.Context())
+		if err != nil {
+			WriteError(w, err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, ResultResponse{
+			Hash: hash, ID: j.ID(), Spec: spec, Info: j.Info(), Snapshot: blob,
+		})
+	})
 	return mux
 }
 
-// writeSubmitError maps submission failures to status codes: throttled →
-// 429 with a Retry-After hint, draining → 503, everything else (bad specs,
-// full registry) → 422.
-func writeSubmitError(w http.ResponseWriter, err error) {
-	var throttled *ThrottledError
-	switch {
-	case errors.As(err, &throttled):
-		secs := int(math.Ceil(throttled.RetryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
-	default:
-		writeError(w, http.StatusUnprocessableEntity, err)
+// waitHandler is the long-poll: park the request on the job's condition
+// variable — the same quantum-wait machinery Snapshot uses — until the
+// session reaches ?status (default done), hits a terminal state, or
+// ?timeout (default 30s, capped at 5m) expires. Timeout is a 200 with
+// reached=false, not an error: the client inspects Info and re-polls.
+func waitHandler(j *Job, w http.ResponseWriter, r *http.Request) {
+	want := Status(r.URL.Query().Get("status"))
+	if want == "" {
+		want = StatusDone
 	}
+	switch want {
+	case StatusQueued, StatusRunning, StatusPaused, StatusDone, StatusFailed:
+	default:
+		WriteError(w, BadRequest(fmt.Errorf("unknown status %q", want)))
+		return
+	}
+	timeout := defaultWaitTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			WriteError(w, BadRequest(fmt.Errorf("bad timeout %q", raw)))
+			return
+		}
+		timeout = min(d, maxWaitTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	info, reached, err := j.Wait(ctx, want)
+	if err != nil {
+		WriteError(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, WaitResponse{Reached: reached, Info: info})
 }
 
-// withJob resolves the {id} path value (reviving hibernated sessions).
+// withJob resolves the {id} path value (reviving hibernated sessions),
+// mapping unknown IDs to 404 and TTL-reaped IDs to 410 through Lookup.
 func withJob(m *Manager, fn func(*Job, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		j, ok := m.Get(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		j, err := m.Lookup(r.PathValue("id"))
+		if err != nil {
+			WriteError(w, err)
 			return
 		}
 		fn(j, w, r)
@@ -215,7 +274,11 @@ func withJob(m *Manager, fn func(*Job, http.ResponseWriter, *http.Request)) http
 func streamHandler(m *Manager, j *Job, w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
+		WriteError(w, &APIError{
+			Status: http.StatusNotImplemented,
+			Code:   CodeUnsupported,
+			Err:    fmt.Errorf("streaming unsupported by this connection"),
+		})
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -289,16 +352,4 @@ func writeEvent(w http.ResponseWriter, event string, v any) {
 		return
 	}
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
-}
-
-// writeJSON writes a JSON response.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// writeError writes the uniform error body.
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
 }

@@ -61,6 +61,8 @@ import (
 	"math"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -162,13 +164,27 @@ const (
 	StatusFailed Status = "failed"
 )
 
-// Sentinel errors the transport maps to distinct status codes.
+// Sentinel errors the transport maps to distinct status codes (the mapping
+// itself lives in api.go's statusOf).
 var (
 	// ErrClosed: the manager is draining; no new work is admitted.
 	ErrClosed = errors.New("serve: manager closed")
 	// ErrHibernated: a stale job handle whose session was hibernated or
 	// reaped; re-resolve through Manager.Get.
 	ErrHibernated = errors.New("serve: session hibernated; re-fetch it")
+	// ErrInvalidSpec: the submission's spec cannot describe a simulation.
+	ErrInvalidSpec = errors.New("serve: invalid spec")
+	// ErrSessionFailed: the session is terminal-failed.
+	ErrSessionFailed = errors.New("serve: session failed")
+	// ErrUnknownSession: the ID was never seen by this manager.
+	ErrUnknownSession = errors.New("serve: unknown session")
+	// ErrSessionExpired: the ID was valid but its session was reaped after
+	// SessionTTL — durably gone, distinguishable from a typo.
+	ErrSessionExpired = errors.New("serve: session expired (reaped after TTL)")
+	// ErrNoResult: no job answers for the requested spec hash.
+	ErrNoResult = errors.New("serve: no result for spec hash")
+	// ErrResultPending: the spec hash is known but its run is not done.
+	ErrResultPending = errors.New("serve: result not ready")
 )
 
 // ThrottledError reports admission-gate rejection with a backoff hint.
@@ -236,9 +252,12 @@ type Readiness struct {
 
 // JobInfo is the JSON view of one job.
 type JobInfo struct {
-	ID           string               `json:"id"`
-	Status       Status               `json:"status"`
-	Spec         popstab.Spec         `json:"spec"`
+	ID     string       `json:"id"`
+	Status Status       `json:"status"`
+	Spec   popstab.Spec `json:"spec"`
+	// Hash is the spec's content address (the /v1/results key); empty for
+	// snapshot restores, whose state is not content-addressed.
+	Hash         string               `json:"hash,omitempty"`
 	TargetRounds uint64               `json:"target_rounds"`
 	Restored     bool                 `json:"restored,omitempty"`
 	Stats        popstab.SessionStats `json:"stats"`
@@ -252,14 +271,19 @@ type Manager struct {
 	slots  chan struct{}
 	store  CheckpointStore
 	faults *fault.Set
-	gate   *tokenBucket
+	gate   *TokenBucket
 
 	mu         sync.Mutex
 	jobs       map[string]*Job
 	byKey      map[string]*Job // dedupe cache: spec hash + target → job
 	hibernated map[string]bool // ids spilled to the store, revivable by Get
-	nextID     uint64
-	closed     bool
+	// reaped tombstones let Lookup answer 410 Gone (expired) instead of 404
+	// (never existed) for IDs the janitor removed. Bounded: reapedOrder is a
+	// FIFO ring of maxReapedTombstones entries.
+	reaped      map[string]bool
+	reapedOrder []string
+	nextID      uint64
+	closed      bool
 
 	// shutdownCh is closed when draining begins: runners blocked on slot
 	// acquisition and SSE streams select on it.
@@ -291,10 +315,11 @@ func NewManager(cfg Config) *Manager {
 		jobs:       make(map[string]*Job),
 		byKey:      make(map[string]*Job),
 		hibernated: make(map[string]bool),
+		reaped:     make(map[string]bool),
 		shutdownCh: make(chan struct{}),
 	}
 	if cfg.SubmitRate > 0 {
-		m.gate = newTokenBucket(cfg.SubmitRate, cfg.SubmitBurst)
+		m.gate = NewTokenBucket(cfg.SubmitRate, cfg.SubmitBurst)
 	}
 	// The janitor only runs when it has work: TTL reaping or a residency
 	// watermark below the registry cap.
@@ -401,7 +426,7 @@ func (m *Manager) Submit(ctx context.Context, spec popstab.Spec, rounds uint64) 
 	}
 	hash, err := spec.Hash()
 	if err != nil {
-		return nil, false, err
+		return nil, false, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
 	key := jobKey(hash, rounds)
 
@@ -432,7 +457,7 @@ func (m *Manager) Submit(ctx context.Context, spec popstab.Spec, rounds uint64) 
 			m.throttled.Add(1)
 			return nil, false, &ThrottledError{RetryAfter: retry}
 		}
-		j := m.newJobLocked(spec, rounds, nil, key)
+		j := m.newJobLocked(spec, rounds, nil, key, false)
 		m.byKey[key] = j
 		m.mu.Unlock()
 		return j, false, nil
@@ -444,19 +469,20 @@ func (m *Manager) admitLocked() (time.Duration, bool) {
 	if m.gate == nil {
 		return 0, true
 	}
-	return m.gate.admit(time.Now())
+	return m.gate.Admit(time.Now())
 }
 
 // Restore registers a job that resumes the given session snapshot under
 // spec and then runs rounds more rounds. Restored jobs bypass the dedupe
 // cache (their state is not derivable from the spec alone) but not the
-// admission gate.
-func (m *Manager) Restore(ctx context.Context, spec popstab.Spec, snapshot []byte, rounds uint64) (*Job, error) {
+// admission gate. paused parks the job on arrival — the coordinator uses
+// this to migrate a paused session without racing rounds on the new host.
+func (m *Manager) Restore(ctx context.Context, spec popstab.Spec, snapshot []byte, rounds uint64, paused bool) (*Job, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(snapshot) == 0 {
-		return nil, errors.New("serve: empty snapshot")
+		return nil, fmt.Errorf("%w: empty snapshot", ErrInvalidSpec)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -470,12 +496,12 @@ func (m *Manager) Restore(ctx context.Context, spec popstab.Spec, snapshot []byt
 		m.throttled.Add(1)
 		return nil, &ThrottledError{RetryAfter: retry}
 	}
-	return m.newJobLocked(spec, rounds, snapshot, ""), nil
+	return m.newJobLocked(spec, rounds, snapshot, "", paused), nil
 }
 
 // newJobLocked allocates, registers, and starts a job. Caller holds m.mu
 // and has verified capacity.
-func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte, key string) *Job {
+func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte, key string, paused bool) *Job {
 	// Sessions inherit the manager's worker setting unless the spec pins
 	// its own; either way the trajectory is identical.
 	if spec.Workers == 0 {
@@ -492,6 +518,7 @@ func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte
 		target:   rounds,
 		status:   StatusQueued,
 		pending:  rounds,
+		paused:   paused,
 		subs:     make(map[uint64]chan popstab.SessionStats),
 		done:     make(chan struct{}),
 	}
@@ -507,18 +534,52 @@ func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte
 // Get looks a job up by ID, transparently reviving a hibernated one from
 // the checkpoint store.
 func (m *Manager) Get(id string) (*Job, bool) {
+	j, err := m.Lookup(id)
+	return j, err == nil
+}
+
+// Lookup resolves an ID like Get but classifies the miss: ErrSessionExpired
+// for an ID the janitor reaped after its TTL (the transport answers 410
+// Gone), ErrUnknownSession for an ID never seen here (404) — so a sweep
+// client can tell an expired session from a typo.
+func (m *Manager) Lookup(id string) (*Job, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
 	hib := !ok && m.hibernated[id]
+	expired := !ok && !hib && m.reaped[id]
 	m.mu.Unlock()
 	if ok {
 		j.touch()
-		return j, true
+		return j, nil
 	}
-	if !hib || m.store == nil {
-		return nil, false
+	if hib && m.store != nil {
+		if j, ok := m.revive(id); ok {
+			return j, nil
+		}
 	}
-	return m.revive(id)
+	if expired {
+		return nil, fmt.Errorf("%w: %s", ErrSessionExpired, id)
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownSession, id)
+}
+
+// maxReapedTombstones bounds the 410-Gone memory: the oldest tombstones
+// degrade to 404 once the ring wraps.
+const maxReapedTombstones = 4096
+
+// recordReaped tombstones a reaped ID (caller does NOT hold m.mu).
+func (m *Manager) recordReaped(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.reaped[id] {
+		return
+	}
+	if len(m.reapedOrder) >= maxReapedTombstones {
+		delete(m.reaped, m.reapedOrder[0])
+		m.reapedOrder = m.reapedOrder[1:]
+	}
+	m.reaped[id] = true
+	m.reapedOrder = append(m.reapedOrder, id)
 }
 
 // List returns every resident job's info, ordered by ID.
@@ -566,13 +627,58 @@ func (m *Manager) Metrics() Metrics {
 	}
 }
 
+// ResultByHash resolves the content-addressed result store: among the jobs
+// currently answering for dedupe keys with the given spec-hash prefix, the
+// completed one with the most rounds wins. ErrResultPending when the hash is
+// known but still running; ErrNoResult when nothing answers for it. This is
+// the worker half of the fleet result store — the coordinator keeps the
+// hash index, the worker keeps the bytes.
+func (m *Manager) ResultByHash(hash string) (*Job, error) {
+	prefix := hash + "/"
+	m.mu.Lock()
+	var (
+		best       *Job
+		bestRounds uint64
+		pending    bool
+	)
+	for key, j := range m.byKey {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		rounds, err := strconv.ParseUint(key[len(prefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		j.mu.Lock()
+		done := j.status == StatusDone
+		j.mu.Unlock()
+		if !done {
+			pending = true
+			continue
+		}
+		if best == nil || rounds > bestRounds {
+			best, bestRounds = j, rounds
+		}
+	}
+	m.mu.Unlock()
+	switch {
+	case best != nil:
+		best.touch()
+		return best, nil
+	case pending:
+		return nil, fmt.Errorf("%w: %s", ErrResultPending, hash)
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrNoResult, hash)
+	}
+}
+
 // Readiness reports capacity for load balancers (the /readyz payload).
 func (m *Manager) Readiness() Readiness {
 	m.mu.Lock()
 	sessions := len(m.jobs)
 	closed := m.closed
 	m.mu.Unlock()
-	open := m.gate == nil || m.gate.open(time.Now())
+	open := m.gate == nil || m.gate.Open(time.Now())
 	return Readiness{
 		Ready:         !closed && sessions < m.cfg.MaxSessions && open,
 		Draining:      closed,
@@ -701,6 +807,10 @@ func (j *Job) run() {
 				j.finishLocked()
 			} else {
 				j.status = StatusPaused
+				// Long-pollers (Job.Wait) observe transitions via the cond;
+				// without this broadcast a waiter for "paused" sleeps until
+				// an unrelated wakeup.
+				j.cond.Broadcast()
 			}
 			j.cond.Wait()
 		}
@@ -973,6 +1083,7 @@ func (j *Job) failLocked(err error) {
 	j.err = err
 	j.m.failed.Add(1)
 	j.doneOnce.Do(func() { close(j.done) })
+	j.cond.Broadcast()
 }
 
 // publishLocked fans stats out to subscribers, dropping events a slow
@@ -998,6 +1109,11 @@ func (j *Job) Info() JobInfo {
 	j.touch()
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.infoLocked()
+}
+
+// infoLocked builds the JSON view; caller holds j.mu.
+func (j *Job) infoLocked() JobInfo {
 	info := JobInfo{
 		ID:           j.id,
 		Status:       j.status,
@@ -1006,10 +1122,43 @@ func (j *Job) Info() JobInfo {
 		Restored:     j.restored,
 		Stats:        j.stats,
 	}
+	if j.key != "" {
+		info.Hash, _, _ = strings.Cut(j.key, "/")
+	}
 	if j.err != nil {
 		info.Error = j.err.Error()
 	}
 	return info
+}
+
+// Wait blocks — under ctx — until the job's status equals want or the job
+// reaches a terminal state, and reports whether want was reached. A ctx
+// expiry is a normal long-poll answer, not an error: the current info is
+// returned with reached=false. This is the HTTP GET
+// /v1/sessions/{id}/wait machinery, sharing the ctx-aware cond-broadcast
+// pattern Snapshot uses (context.AfterFunc wakes the wait loop so it can
+// observe the expiry).
+func (j *Job) Wait(ctx context.Context, want Status) (JobInfo, bool, error) {
+	j.touch()
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.parted {
+			return JobInfo{}, false, ErrHibernated
+		}
+		reached := j.status == want
+		terminal := j.status == StatusDone || j.status == StatusFailed
+		if reached || terminal || ctx.Err() != nil || j.m.isClosed() {
+			return j.infoLocked(), reached, nil
+		}
+		j.cond.Wait()
+	}
 }
 
 // Step requests n more rounds (reviving a done job) and wakes the runner.
@@ -1029,7 +1178,7 @@ func (j *Job) Step(n uint64) error {
 		return ErrHibernated
 	}
 	if j.status == StatusFailed {
-		return fmt.Errorf("serve: session failed: %w", j.err)
+		return fmt.Errorf("%w: %v", ErrSessionFailed, j.err)
 	}
 	j.target += n
 	j.pending += n
@@ -1049,7 +1198,7 @@ func (j *Job) Pause() error {
 		return ErrHibernated
 	}
 	if j.status == StatusFailed {
-		return fmt.Errorf("serve: session failed: %w", j.err)
+		return fmt.Errorf("%w: %v", ErrSessionFailed, j.err)
 	}
 	j.paused = true
 	return nil
@@ -1064,7 +1213,7 @@ func (j *Job) Resume() error {
 		return ErrHibernated
 	}
 	if j.status == StatusFailed {
-		return fmt.Errorf("serve: session failed: %w", j.err)
+		return fmt.Errorf("%w: %v", ErrSessionFailed, j.err)
 	}
 	j.paused = false
 	j.cond.Broadcast()
@@ -1105,7 +1254,7 @@ func (j *Job) Snapshot(ctx context.Context) (popstab.Spec, []byte, error) {
 		return popstab.Spec{}, nil, ErrHibernated
 	}
 	if j.status == StatusFailed {
-		return popstab.Spec{}, nil, fmt.Errorf("serve: session failed: %w", j.err)
+		return popstab.Spec{}, nil, fmt.Errorf("%w: %v", ErrSessionFailed, j.err)
 	}
 	if j.sess == nil {
 		return popstab.Spec{}, nil, errors.New("serve: session still initializing")
@@ -1136,8 +1285,10 @@ func (j *Job) Subscribe(buffer int) (<-chan popstab.SessionStats, func()) {
 	}
 }
 
-// tokenBucket is the admission gate: rate tokens/second up to burst.
-type tokenBucket struct {
+// TokenBucket is a minimal token-bucket admission gate: rate tokens/second
+// accruing up to burst. Exported so the coordinator (internal/cluster) can
+// gate the fleet with the same mechanism that gates each worker.
+type TokenBucket struct {
 	mu     sync.Mutex
 	rate   float64
 	burst  float64
@@ -1145,24 +1296,24 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-// newTokenBucket starts full.
-func newTokenBucket(rate float64, burst int) *tokenBucket {
+// NewTokenBucket starts full; burst <= 0 defaults to ceil(rate) (min 1).
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
 	if burst <= 0 {
 		burst = int(math.Max(1, math.Ceil(rate)))
 	}
-	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
 }
 
 // refillLocked advances the bucket to now.
-func (b *tokenBucket) refillLocked(now time.Time) {
+func (b *TokenBucket) refillLocked(now time.Time) {
 	if now.After(b.last) {
 		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
 		b.last = now
 	}
 }
 
-// admit consumes one token, or reports how long until one accrues.
-func (b *tokenBucket) admit(now time.Time) (time.Duration, bool) {
+// Admit consumes one token, or reports how long until one accrues.
+func (b *TokenBucket) Admit(now time.Time) (time.Duration, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.refillLocked(now)
@@ -1173,8 +1324,8 @@ func (b *tokenBucket) admit(now time.Time) (time.Duration, bool) {
 	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second)), false
 }
 
-// open reports token availability without consuming (the readiness probe).
-func (b *tokenBucket) open(now time.Time) bool {
+// Open reports token availability without consuming (the readiness probe).
+func (b *TokenBucket) Open(now time.Time) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.refillLocked(now)

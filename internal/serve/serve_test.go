@@ -173,9 +173,9 @@ func TestStepEvictsDedupeEntry(t *testing.T) {
 func TestFailedBuildNotCountedOrCached(t *testing.T) {
 	m := NewManager(Config{})
 	defer m.Close()
-	// Hashes fine (registry names resolve) but the constructor rejects it:
-	// DaughterSpread requires a spatial topology.
-	bad := popstab.Spec{N: 4096, Tinner: 24, Seed: 31, DaughterSpread: 2}
+	// Hashes fine (names resolve, axes are compatible) but the constructor
+	// rejects it: rogue.NewEngine requires ReplicateEvery >= 1.
+	bad := popstab.Spec{N: 4096, Tinner: 24, Seed: 31, Rogue: &popstab.RogueSpec{DetectProb: 1}}
 	j, _, err := m.Submit(context.Background(), bad, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -470,28 +470,187 @@ done:
 	}
 }
 
-// TestHTTPErrors pins the error surface: unknown sessions, bad bodies,
-// unbuildable specs.
+// TestHTTPErrors pins the unified error surface: every non-2xx answer is
+// the {"error":{"code","message"}} envelope with a stable machine-readable
+// code, mapped from typed errors in exactly one place (statusOf).
 func TestHTTPErrors(t *testing.T) {
 	m := NewManager(Config{})
 	defer m.Close()
 	ts := httptest.NewServer(NewHandler(m))
 	defer ts.Close()
 
-	if resp := get(t, ts, "/v1/sessions/nope", nil); resp.StatusCode != http.StatusNotFound {
+	var e ErrorBody
+	if resp := get(t, ts, "/v1/sessions/nope", &e); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown session: status %d", resp.StatusCode)
 	}
+	if e.Error.Code != CodeUnknownSession || e.Error.Message == "" {
+		t.Errorf("unknown session envelope %+v, want code %q", e.Error, CodeUnknownSession)
+	}
+
 	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad body: status %d", resp.StatusCode)
+	e = ErrorBody{}
+	if derr := json.NewDecoder(resp.Body).Decode(&e); derr != nil {
+		t.Fatalf("bad body answer was not the envelope: %v", derr)
 	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || e.Error.Code != CodeBadRequest {
+		t.Errorf("bad body: status %d code %q", resp.StatusCode, e.Error.Code)
+	}
+
 	// N below the model minimum fails at hash time.
-	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: popstab.Spec{N: 64}}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+	e = ErrorBody{}
+	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: popstab.Spec{N: 64}}, &e); resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("invalid spec: status %d", resp.StatusCode)
+	}
+	if e.Error.Code != CodeInvalidSpec {
+		t.Errorf("invalid spec envelope code %q, want %q", e.Error.Code, CodeInvalidSpec)
+	}
+
+	// Zero-round step is a request error, not a conflict.
+	var sub SubmitResponse
+	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: quickSpec(40), Rounds: 8}, &sub); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	e = ErrorBody{}
+	if resp := post(t, ts, "/v1/sessions/"+sub.ID+"/step", StepRequest{Rounds: 0}, &e); resp.StatusCode != http.StatusBadRequest || e.Error.Code != CodeBadRequest {
+		t.Errorf("zero-round step: status %d code %q", resp.StatusCode, e.Error.Code)
+	}
+
+	// Unknown result hash.
+	e = ErrorBody{}
+	if resp := get(t, ts, "/v1/results/deadbeef", &e); resp.StatusCode != http.StatusNotFound || e.Error.Code != CodeUnknownResult {
+		t.Errorf("unknown result: status %d code %q", resp.StatusCode, e.Error.Code)
+	}
+}
+
+// TestHTTPExpiredSession pins 404-vs-410: an ID the janitor reaped answers
+// 410 Gone with session_expired, distinguishable from a never-seen ID.
+func TestHTTPExpiredSession(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 16, SessionTTL: time.Nanosecond, GCInterval: time.Hour})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var sub SubmitResponse
+	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: quickSpec(41), Rounds: 16}, &sub); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	j, err := m.Lookup(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	time.Sleep(2 * time.Millisecond) // idle past the nanosecond TTL
+	if reaped, _ := m.GC(); reaped != 1 {
+		t.Fatalf("GC reaped %d sessions, want 1", reaped)
+	}
+
+	var e ErrorBody
+	if resp := get(t, ts, "/v1/sessions/"+sub.ID, &e); resp.StatusCode != http.StatusGone {
+		t.Errorf("reaped session: status %d, want 410", resp.StatusCode)
+	}
+	if e.Error.Code != CodeSessionExpired {
+		t.Errorf("reaped session envelope code %q, want %q", e.Error.Code, CodeSessionExpired)
+	}
+	e = ErrorBody{}
+	if resp := get(t, ts, "/v1/sessions/never-existed", &e); resp.StatusCode != http.StatusNotFound || e.Error.Code != CodeUnknownSession {
+		t.Errorf("unknown session: status %d code %q", resp.StatusCode, e.Error.Code)
+	}
+}
+
+// TestHTTPWait pins the long-poll: it returns immediately when the status
+// already holds, parks until a transition otherwise, reports timeouts as
+// reached=false, and rejects bad parameters.
+func TestHTTPWait(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 8})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	var sub SubmitResponse
+	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: quickSpec(42), Rounds: 64}, &sub); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	// Park until done: the session has real rounds to run first.
+	var wr WaitResponse
+	if resp := get(t, ts, "/v1/sessions/"+sub.ID+"/wait?status=done&timeout=30s", &wr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait: status %d", resp.StatusCode)
+	}
+	if !wr.Reached || wr.Info.Status != StatusDone || wr.Info.Stats.Round != 64 {
+		t.Fatalf("wait answered %+v, want reached done at round 64", wr)
+	}
+
+	// Already-done short-circuits.
+	if resp := get(t, ts, "/v1/sessions/"+sub.ID+"/wait", &wr); resp.StatusCode != http.StatusOK || !wr.Reached {
+		t.Fatalf("wait on done session: status %d reached %v", resp.StatusCode, wr.Reached)
+	}
+
+	// A status the session will never reach again times out with
+	// reached=false and the current info — a 200, the client re-polls.
+	if resp := get(t, ts, "/v1/sessions/"+sub.ID+"/wait?status=running&timeout=50ms", &wr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait timeout: status %d", resp.StatusCode)
+	}
+	if wr.Reached || wr.Info.Status != StatusDone {
+		t.Fatalf("timed-out wait answered %+v, want reached=false done", wr)
+	}
+
+	// Parameter validation.
+	var e ErrorBody
+	if resp := get(t, ts, "/v1/sessions/"+sub.ID+"/wait?status=bogus", &e); resp.StatusCode != http.StatusBadRequest || e.Error.Code != CodeBadRequest {
+		t.Errorf("bad status: status %d code %q", resp.StatusCode, e.Error.Code)
+	}
+	if resp := get(t, ts, "/v1/sessions/"+sub.ID+"/wait?timeout=banana", &e); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad timeout: status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPResultByHash pins the content-addressed result store: a finished
+// run answers under its spec hash with a restorable snapshot; a known but
+// unfinished hash answers result_pending.
+func TestHTTPResultByHash(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 16})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	spec := quickSpec(43)
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResponse
+	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: spec, Rounds: 32}, &sub); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	j, err := m.Lookup(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	var res ResultResponse
+	if resp := get(t, ts, "/v1/results/"+hash, &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", resp.StatusCode)
+	}
+	if res.Hash != hash || res.ID != sub.ID || len(res.Snapshot) == 0 || res.Info.Stats.Round != 32 {
+		t.Fatalf("result %+v, want the finished run with its snapshot", res.Info)
+	}
+	// The returned snapshot restores to the identical state.
+	var re SubmitResponse
+	if resp := post(t, ts, "/v1/sessions", SubmitRequest{Spec: res.Spec, Snapshot: res.Snapshot, Rounds: 0}, &re); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore of result snapshot: status %d", resp.StatusCode)
+	}
+	rj, err := m.Lookup(re.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, rj)
+	if got := rj.Info().Stats; got.Size != res.Info.Stats.Size || got.Round != res.Info.Stats.Round {
+		t.Fatalf("restored stats %+v != result stats %+v", got, res.Info.Stats)
 	}
 }
 

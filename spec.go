@@ -170,11 +170,26 @@ func (sp Spec) Normalize() (Spec, error) {
 	if err != nil {
 		return Spec{}, fmt.Errorf("popstab: %w", err)
 	}
-	// Config() rejects bad registry names; combination errors that need
-	// the full constructor (e.g. DaughterSpread on mixed) surface when the
-	// spec is built into a session, so Hash stays allocation-light.
+	// Config() rejects bad registry names.
 	if _, err := sp.Config(); err != nil {
 		return Spec{}, err
+	}
+	// Axis-combination conflicts are rejected here, not just at build time:
+	// a spec that cannot run must not normalize (or hash — the serving
+	// layer turns these into 422 invalid_spec at submission, before a
+	// session is ever constructed). The checks mirror NewSession's.
+	t, _ := TopologyFromString(sp.Topology)
+	if t == Mixed && sp.DaughterSpread != 0 {
+		return Spec{}, fmt.Errorf("popstab: DaughterSpread requires a spatial topology")
+	}
+	if sp.DaughterSpread < 0 {
+		return Spec{}, fmt.Errorf("popstab: negative DaughterSpread %v", sp.DaughterSpread)
+	}
+	if sp.RewireProb != 0 && t != SmallWorld {
+		return Spec{}, fmt.Errorf("popstab: RewireProb requires Topology: SmallWorld")
+	}
+	if sp.Rogue != nil && sp.Rogue.Cluster != nil && t == Mixed {
+		return Spec{}, fmt.Errorf("popstab: Rogue.Cluster requires a spatial topology")
 	}
 	out := sp
 	out.Tinner = p.Tinner

@@ -1,0 +1,69 @@
+package popstab_test
+
+import (
+	"strings"
+	"testing"
+
+	"popstab"
+)
+
+// TestSpecNormalizeErrors tables the rejection surface of Spec.Normalize:
+// bad registry names, out-of-range parameters, and axis combinations that
+// could never build. Every case must fail at normalize (and therefore hash)
+// time, so the serving layer can refuse the submission before a session is
+// ever constructed.
+func TestSpecNormalizeErrors(t *testing.T) {
+	base := popstab.Spec{N: 4096, Tinner: 24, Seed: 7}
+	cases := []struct {
+		name string
+		mut  func(*popstab.Spec)
+		want string // substring of the error
+	}{
+		{"zero N", func(s *popstab.Spec) { s.N = 0 }, "N"},
+		{"N below minimum", func(s *popstab.Spec) { s.N = 64 }, "N"},
+		{"N not a power of four", func(s *popstab.Spec) { s.N = 5000 }, "N"},
+		{"Gamma above one", func(s *popstab.Spec) { s.Gamma = 1.5 }, "gamma"},
+		{"Alpha above half", func(s *popstab.Spec) { s.Alpha = 0.9 }, "alpha"},
+		{"unknown protocol", func(s *popstab.Spec) { s.Protocol = "nope" }, "protocol"},
+		{"unknown topology", func(s *popstab.Spec) { s.Topology = "klein-bottle" }, "topology"},
+		{"unknown adversary", func(s *popstab.Spec) { s.Adversary = "mysterious" }, "adversary"},
+		{"DaughterSpread on mixed", func(s *popstab.Spec) { s.DaughterSpread = 2 }, "DaughterSpread"},
+		{"negative DaughterSpread", func(s *popstab.Spec) { s.Topology = "torus"; s.DaughterSpread = -1 }, "DaughterSpread"},
+		{"RewireProb off smallworld", func(s *popstab.Spec) { s.Topology = "ring"; s.RewireProb = 0.2 }, "RewireProb"},
+		{"rogue cluster on mixed", func(s *popstab.Spec) {
+			s.Rogue = &popstab.RogueSpec{ReplicateEvery: 4, DetectProb: 1, Cluster: &popstab.BallSpec{R: 0.1}}
+		}, "Rogue.Cluster"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := base
+			tc.mut(&sp)
+			if _, err := sp.Normalize(); err == nil {
+				t.Fatalf("Normalize accepted %+v", sp)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Normalize error %q does not mention %q", err, tc.want)
+			}
+			// Hash goes through Normalize, so the spec must not hash either:
+			// an unbuildable spec has no content address.
+			if h, err := sp.Hash(); err == nil {
+				t.Errorf("Hash accepted the spec: %s", h)
+			}
+		})
+	}
+}
+
+// TestSpecNormalizeAcceptsResolvedConflicts pins the complement: the same
+// axis values are fine on topologies that support them.
+func TestSpecNormalizeAcceptsResolvedConflicts(t *testing.T) {
+	cases := []popstab.Spec{
+		{N: 4096, Tinner: 24, Seed: 7, Topology: "torus", DaughterSpread: 2},
+		{N: 4096, Tinner: 24, Seed: 7, Topology: "smallworld", RewireProb: 0.2},
+		{N: 4096, Tinner: 24, Seed: 7, Topology: "grid",
+			Rogue: &popstab.RogueSpec{ReplicateEvery: 4, DetectProb: 1, Cluster: &popstab.BallSpec{X: 0.5, Y: 0.5, R: 0.1}}},
+	}
+	for _, sp := range cases {
+		if _, err := sp.Normalize(); err != nil {
+			t.Errorf("Normalize rejected %+v: %v", sp, err)
+		}
+	}
+}
