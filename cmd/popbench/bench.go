@@ -39,6 +39,17 @@ type jsonBenchmark struct {
 	// leak of the scratch-reuse discipline even when wall time looks fine.
 	BytesPerRound  float64 `json:"bytes_per_round"`
 	AllocsPerRound float64 `json:"allocs_per_round"`
+	// The per-phase breakdown of the spatial matching pipeline, averaged
+	// over the timed iterations (omitted for workloads without a spatial
+	// matcher). WalkConflictRate is the fraction of speculatively walked
+	// visits that needed serial repair — the -diff gate warns when it
+	// regresses, since a rising conflict rate erodes the speculative
+	// walk's scaling long before wall time shows it on a small machine.
+	BucketNSPerRound  float64 `json:"bucket_ns_per_round,omitempty"`
+	ScatterNSPerRound float64 `json:"scatter_ns_per_round,omitempty"`
+	CandNSPerRound    float64 `json:"cand_ns_per_round,omitempty"`
+	WalkNSPerRound    float64 `json:"walk_ns_per_round,omitempty"`
+	WalkConflictRate  float64 `json:"walk_conflict_rate,omitempty"`
 }
 
 // benchBudget is the minimum wall-clock spent per workload; every workload
@@ -66,6 +77,11 @@ func runThroughputBenchmarks(verbose bool) []jsonBenchmark {
 			fmt.Printf("bench %-24s n=%-8d workers=%-2d rounds=%-4d %8dms  %14.0f agentsteps/s  %10.0f B/round %8.1f allocs/round\n",
 				b.Name, b.N, b.Workers, b.Rounds, b.ElapsedMS, b.AgentStepsPerSec,
 				b.BytesPerRound, b.AllocsPerRound)
+			if b.WalkNSPerRound > 0 {
+				fmt.Printf("      %-24s phases/round: bucket %s scatter %s cand %s walk %s  conflict %.4f\n",
+					"", fmtNS(b.BucketNSPerRound), fmtNS(b.ScatterNSPerRound),
+					fmtNS(b.CandNSPerRound), fmtNS(b.WalkNSPerRound), b.WalkConflictRate)
+			}
 		}
 	}
 	add(benchRounds("RoundN65536", 65536, popstab.Mixed))
@@ -84,9 +100,17 @@ func runThroughputBenchmarks(verbose bool) []jsonBenchmark {
 // spatial CSR arrays) lands outside the measured window: the gate tracks
 // the steady state, and short workloads (a few iterations per budget)
 // would otherwise flap on how much warmup they happened to absorb.
-func measure(b jsonBenchmark, iter func() int) jsonBenchmark {
+//
+// phases, when non-nil, reads the spatial matcher's cumulative pipeline
+// counters (ok = false when the workload has no spatial matcher); the
+// delta over the timed window fills the per-phase breakdown fields.
+func measure(b jsonBenchmark, iter func() int, phases func() (match.PipelineStats, bool)) jsonBenchmark {
 	for i := 0; i < 2; i++ {
 		iter()
+	}
+	var p0 match.PipelineStats
+	if phases != nil {
+		p0, _ = phases()
 	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -100,6 +124,16 @@ func measure(b jsonBenchmark, iter func() int) jsonBenchmark {
 			b.AgentStepsPerSec = float64(steps) / elapsed.Seconds()
 			b.BytesPerRound = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds)
 			b.AllocsPerRound = float64(m1.Mallocs-m0.Mallocs) / float64(rounds)
+			if phases != nil {
+				if p1, ok := phases(); ok {
+					d := p1.Sub(p0)
+					b.BucketNSPerRound = float64(d.BucketNS) / float64(rounds)
+					b.ScatterNSPerRound = float64(d.ScatterNS) / float64(rounds)
+					b.CandNSPerRound = float64(d.CandNS) / float64(rounds)
+					b.WalkNSPerRound = float64(d.WalkNS) / float64(rounds)
+					b.WalkConflictRate = d.ConflictRate()
+				}
+			}
 			return b
 		}
 		steps += iter()
@@ -118,7 +152,7 @@ func benchRounds(name string, n int, topo popstab.Topology) (jsonBenchmark, erro
 	return measure(b, func() int {
 		s.RunRound()
 		return s.Size()
-	}), nil
+	}, s.MatchStats), nil
 }
 
 // benchTorusMatch times the sharded spatial matching phase alone — the
@@ -142,7 +176,7 @@ func benchTorusMatch(name string, n int) (jsonBenchmark, error) {
 	return measure(b, func() int {
 		tor.SampleMatch(pop, src, &p)
 		return n
-	}), nil
+	}, func() (match.PipelineStats, bool) { return tor.PipelineStats(), true }), nil
 }
 
 // churnStepper is a synthetic apply-heavy program: each agent dies with
@@ -184,7 +218,17 @@ func benchChurn(name string, n int) (jsonBenchmark, error) {
 	return measure(b, func() int {
 		eng.RunRound()
 		return eng.Size()
-	}), nil
+	}, nil), nil
+}
+
+// fmtNS renders a per-round phase cost with a human unit (µs or ms).
+func fmtNS(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", ns/1e3)
+	}
 }
 
 // log2of is log₂ n for a power of two.

@@ -1,0 +1,320 @@
+package match
+
+import (
+	"runtime"
+	"testing"
+
+	"popstab/internal/population"
+	"popstab/internal/prng"
+)
+
+// setForceShards overrides the speculative walk's shard count (the test
+// handle behind POPSTAB_FORCE_SPEC_SHARDS), returning the restore func.
+func setForceShards(v int) (restore func()) {
+	old := specForceShards
+	specForceShards = v
+	return func() { specForceShards = old }
+}
+
+// shapePositions rewrites a gallery matcher's positions into one of the
+// density shapes the speculative walk must survive: "uniform" (as bound),
+// "patchy" (many clumps of ~2 dozen agents sharing a cell — candidate lists
+// overlap heavily, so speculation conflicts and the exact rescan fire while
+// staying under the density gate), "clustered" (three huge piles — blows
+// past the gate on every geometry), and "onepoint" (fully degenerate: every
+// distance ties and all agents share one cell).
+func shapePositions(t *testing.T, m Matcher, shape string, seed uint64) {
+	t.Helper()
+	pos := positionsOf(t, m).Slice()
+	mut := prng.New(seed)
+	switch shape {
+	case "uniform":
+	case "patchy":
+		nclumps := len(pos)/24 + 1
+		centers := make([]population.Point, nclumps)
+		for i := range centers {
+			centers[i] = population.Point{X: mut.Float64(), Y: mut.Float64()}
+		}
+		for i := range pos {
+			c := centers[mut.Intn(nclumps)]
+			pos[i] = population.Point{
+				X: wrap(c.X + 1e-6*mut.Float64()),
+				Y: wrap(c.Y + 1e-6*mut.Float64()),
+			}
+		}
+	case "clustered":
+		for i := range pos {
+			pos[i] = population.Point{
+				X: wrap(float64(mut.Intn(3))/3 + 0.001*mut.Float64()),
+				Y: wrap(float64(mut.Intn(3))/3 + 0.001*mut.Float64()),
+			}
+		}
+	case "onepoint":
+		for i := range pos {
+			pos[i] = population.Point{X: 0.25, Y: 0.25}
+		}
+	default:
+		t.Fatalf("unknown shape %q", shape)
+	}
+}
+
+// TestSpeculativeWalkBitIdentical is the tentpole invariance guarantee of
+// the speculative greedy walk: across the whole topology gallery, density
+// shapes from uniform to fully degenerate, worker counts {1, 2, 4, NumCPU},
+// and a forced 16-shard speculation far beyond the natural fan-out, the
+// pairing is bit-identical to the pure serial walk (workers = 1, no
+// speculation). The serial baseline run also pins that one shard takes the
+// serial path — no Workers=1 overhead — and the forced runs pin that the
+// density gate routes degenerate shapes to the serial walk.
+func TestSpeculativeWalkBitIdentical(t *testing.T) {
+	shapes := []string{"uniform", "patchy", "clustered", "onepoint"}
+	for _, name := range galleryNames {
+		for _, shape := range shapes {
+			n := 8192
+			if shape == "clustered" || shape == "onepoint" {
+				// The degenerate shapes are quadratic in cluster size.
+				n = 1024
+			}
+			t.Run(name+"/"+shape, func(t *testing.T) {
+				run := func(workers, force int) ([]int32, PipelineStats) {
+					defer setForceShards(force)()
+					m, pop := buildSpatial(t, name, n, 101)
+					shapePositions(t, m, shape, uint64(n)*13)
+					m.(WorkerSetter).SetWorkers(workers)
+					var p Pairing
+					m.SampleMatch(pop, prng.New(777), &p)
+					if err := p.Validate(); err != nil {
+						t.Fatalf("workers=%d force=%d: %v", workers, force, err)
+					}
+					out := make([]int32, n)
+					copy(out, p.Nbr)
+					return out, m.(PhaseReporter).PipelineStats()
+				}
+				compare := func(label string, got []int32, want []int32) {
+					t.Helper()
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s: pairing diverged from serial walk at agent %d: got %d, want %d",
+								label, i, got[i], want[i])
+						}
+					}
+				}
+				want, base := run(1, 0)
+				if base.SerialWalks != 1 || base.SpecWalks != 0 {
+					t.Fatalf("workers=1 did not take the serial walk: %+v", base)
+				}
+				for _, w := range []int{2, 4, runtime.NumCPU()} {
+					got, _ := run(w, 0)
+					compare("workers="+itoa(w), got, want)
+				}
+				got, st := run(1, 16)
+				compare("forced 16 shards", got, want)
+				if shape == "clustered" || shape == "onepoint" {
+					if st.SerialWalks != 1 {
+						t.Errorf("density gate did not fall back to the serial walk on %s: %+v", shape, st)
+					}
+				} else if st.SpecWalks != 1 {
+					t.Errorf("forced shards did not speculate on %s: %+v", shape, st)
+				}
+			})
+		}
+	}
+}
+
+// itoa avoids importing strconv for test labels.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestSpeculativeEmptyBallAccept pins the specNone fast path: agents whose
+// whole neighborhood is empty (candTotal = 0) are accepted as unpaired with
+// no serial check, and the result still equals the serial walk. Nine
+// hermits sit in cells whose 3×3 neighborhoods are otherwise empty while
+// the rest of the population clusters far away.
+func TestSpeculativeEmptyBallAccept(t *testing.T) {
+	const n = 1024 // torus side 32
+	defer setForceShards(8)()
+	run := func(force bool) ([]int32, PipelineStats) {
+		if !force {
+			defer setForceShards(0)()
+		}
+		m, pop := buildSpatial(t, "torus", n, 33)
+		pos := positionsOf(t, m).Slice()
+		mut := prng.New(7)
+		for i := range pos {
+			pos[i] = population.Point{X: 0.5 * mut.Float64(), Y: 0.5 * mut.Float64()}
+		}
+		const side = 32.0
+		for k := 0; k < 9; k++ {
+			r, c := 20+4*(k/3), 20+4*(k%3)
+			pos[k] = population.Point{X: (float64(c) + 0.5) / side, Y: (float64(r) + 0.5) / side}
+		}
+		var p Pairing
+		m.SampleMatch(pop, prng.New(55), &p)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int32, n)
+		copy(out, p.Nbr)
+		return out, m.(PhaseReporter).PipelineStats()
+	}
+	want, _ := run(false)
+	got, st := run(true)
+	if st.SpecWalks != 1 {
+		t.Fatalf("speculation did not run: %+v", st)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pairing diverged at agent %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	for k := 0; k < 9; k++ {
+		if got[k] != Unmatched {
+			t.Errorf("hermit %d matched with %d, want unmatched", k, got[k])
+		}
+	}
+}
+
+// TestSpeculativeWalkAcrossRounds drives a torus through repeated
+// insert/delete/match rounds with forced speculation and asserts every
+// round's pairing equals a serial twin's — the buffers and the density
+// gate must stay correct as the population churns.
+func TestSpeculativeWalkAcrossRounds(t *testing.T) {
+	const n = 2048
+	build := func() (Matcher, *population.Population) { return buildSpatial(t, "torus", n, 71) }
+	ms, pops := build()
+	defer setForceShards(8)()
+	mp, popp := build()
+	srcS, srcP := prng.New(5), prng.New(5)
+	mut := prng.New(6)
+	for round := 0; round < 12; round++ {
+		for k := 0; k < 64; k++ {
+			switch mut.Intn(2) {
+			case 0:
+				i := mut.Intn(pops.Len())
+				pops.Insert(pops.State(i))
+				popp.Insert(popp.State(i))
+			case 1:
+				i := mut.Intn(pops.Len())
+				pops.DeleteSwap(i)
+				popp.DeleteSwap(i)
+			}
+		}
+		var ps, pp Pairing
+		func() {
+			defer setForceShards(0)()
+			ms.SampleMatch(pops, srcS, &ps)
+		}()
+		mp.SampleMatch(popp, srcP, &pp)
+		for i := range ps.Nbr {
+			if ps.Nbr[i] != pp.Nbr[i] {
+				t.Fatalf("round %d: diverged at agent %d: serial %d, speculative %d",
+					round, i, ps.Nbr[i], pp.Nbr[i])
+			}
+		}
+	}
+}
+
+// TestPreBucketReuseAndDrop pins the Prebucketer contract on the spatial
+// chassis: a PreBucket for exactly the sampled n is consumed and yields the
+// identical pairing; a PreBucket for a stale n is ignored; DropPrebucket
+// discards a pending one so a subsequent sample rebuckets fresh positions.
+func TestPreBucketReuseAndDrop(t *testing.T) {
+	const n = 4096
+	twin := func() (Matcher, *population.Population) { return buildSpatial(t, "torus", n, 55) }
+
+	// Prebucket + sample vs plain sample.
+	m1, pop1 := twin()
+	m2, pop2 := twin()
+	m1.(Prebucketer).PreBucket(pop1.Len())
+	var got, want Pairing
+	m1.SampleMatch(pop1, prng.New(9), &got)
+	m2.SampleMatch(pop2, prng.New(9), &want)
+	for i := range want.Nbr {
+		if got.Nbr[i] != want.Nbr[i] {
+			t.Fatalf("prebucketed sample diverged at agent %d", i)
+		}
+	}
+
+	// A stale-n prebucket must be ignored, not half-used.
+	m1.(Prebucketer).PreBucket(pop1.Len())
+	pop1.Insert(pop1.State(0))
+	pop2.Insert(pop2.State(0))
+	m1.SampleMatch(pop1, prng.New(10), &got)
+	m2.SampleMatch(pop2, prng.New(10), &want)
+	for i := range want.Nbr {
+		if got.Nbr[i] != want.Nbr[i] {
+			t.Fatalf("stale-n prebucket corrupted the sample at agent %d", i)
+		}
+	}
+
+	// DropPrebucket: positions move between PreBucket and the sample.
+	scramble := func(m Matcher) {
+		pos := positionsOf(t, m).Slice()
+		mut := prng.New(123)
+		for i := range pos {
+			pos[i] = population.Point{X: mut.Float64(), Y: mut.Float64()}
+		}
+	}
+	m1.(Prebucketer).PreBucket(pop1.Len())
+	scramble(m1)
+	m1.(Prebucketer).DropPrebucket()
+	scramble(m2)
+	m1.SampleMatch(pop1, prng.New(11), &got)
+	m2.SampleMatch(pop2, prng.New(11), &want)
+	for i := range want.Nbr {
+		if got.Nbr[i] != want.Nbr[i] {
+			t.Fatalf("dropped prebucket still influenced the sample at agent %d", i)
+		}
+	}
+}
+
+// TestPipelineStatsAccumulate pins the PhaseReporter counters: samples and
+// per-phase times accumulate, the conflict rate stays in [0, 1], and Sub
+// yields deltas.
+func TestPipelineStatsAccumulate(t *testing.T) {
+	const n = 4096
+	m, pop := buildSpatial(t, "torus", n, 77)
+	m.(WorkerSetter).SetWorkers(2)
+	rep := m.(PhaseReporter)
+	src := prng.New(3)
+	var p Pairing
+	m.SampleMatch(pop, src, &p)
+	first := rep.PipelineStats()
+	if first.Samples != 1 {
+		t.Fatalf("Samples = %d after one sample", first.Samples)
+	}
+	if first.BucketNS == 0 || first.ScatterNS == 0 || first.CandNS == 0 || first.WalkNS == 0 {
+		t.Errorf("phase times did not accumulate: %+v", first)
+	}
+	if first.SpecWalks+first.SerialWalks != 1 {
+		t.Errorf("walk mode counters inconsistent: %+v", first)
+	}
+	for i := 0; i < 3; i++ {
+		m.SampleMatch(pop, src, &p)
+	}
+	cur := rep.PipelineStats()
+	if cur.Samples != 4 {
+		t.Fatalf("Samples = %d after four samples", cur.Samples)
+	}
+	d := cur.Sub(first)
+	if d.Samples != 3 || d.SpecWalks+d.SerialWalks != 3 {
+		t.Errorf("Sub delta wrong: %+v", d)
+	}
+	if r := cur.ConflictRate(); r < 0 || r > 1 {
+		t.Errorf("conflict rate %v outside [0, 1]", r)
+	}
+	if cur.SpecVisits > 0 && cur.SpecConflicts > cur.SpecVisits {
+		t.Errorf("conflicts %d exceed visits %d", cur.SpecConflicts, cur.SpecVisits)
+	}
+}

@@ -122,10 +122,13 @@ func (p *Pool) Run(n, grain int, fn func(lo, hi int)) {
 
 // RunN fans fn out over shard indices 0..w-1, blocking until all complete.
 // The submitting goroutine runs the last index itself. It is Run for callers
-// that partition work themselves (per-shard counters, cell ranges); w should
-// not exceed Workers or the extra shards just queue.
+// that partition work themselves (per-shard counters, cell ranges). w may
+// exceed Workers — the extra shards queue behind the spawned workers — and
+// on a pool of 1 (which spawns no workers at all) every index runs inline,
+// so over-fanned submissions degrade to serial instead of filling the job
+// buffer with tasks nobody drains.
 func (p *Pool) RunN(w int, fn func(k int)) {
-	if w <= 1 || p.closed.Load() {
+	if w <= 1 || p.workers <= 1 || p.closed.Load() {
 		for k := 0; k < w; k++ {
 			fn(k)
 		}

@@ -58,6 +58,25 @@ func TestRunNFansOut(t *testing.T) {
 	}
 }
 
+// TestRunNWiderThanPool pins that fanning out past the pool's parallelism
+// completes instead of deadlocking — the forced-speculation override
+// (POPSTAB_FORCE_SPEC_SHARDS) submits more shards than Workers, and a pool
+// of 1 spawns no drainer goroutines at all, so RunN must fall back to
+// inline execution there and queue the excess elsewhere.
+func TestRunNWiderThanPool(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		p := New(workers)
+		defer p.Close()
+		var hits [64]int32 // far beyond the jobs buffer (8×workers)
+		p.RunN(len(hits), func(k int) { atomic.AddInt32(&hits[k], 1) })
+		for k, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, k, h)
+			}
+		}
+	}
+}
+
 // TestConcurrentRuns checks two goroutines can share one pool (the overlap
 // structure: matching on the caller, compose on the aux goroutine, both
 // sharding into the same pool).

@@ -81,6 +81,9 @@ type (
 	// Point is a position on a spatial topology (only X is meaningful on
 	// the 1-D topologies Ring and SmallWorld).
 	Point = population.Point
+	// MatchPipelineStats are the spatial matching pipeline's cumulative
+	// per-phase counters (see Sim.MatchStats).
+	MatchPipelineStats = match.PipelineStats
 )
 
 // PatchSpec parameterizes the spatial patch-attack family: one ball of the
@@ -517,6 +520,18 @@ func (s *Sim) Census() Census { return s.eng.Census() }
 // live work; everyone else may simply drop the Sim (a runtime cleanup
 // covers it).
 func (s *Sim) Close() { s.eng.Close() }
+
+// MatchStats reports the spatial matcher's cumulative per-phase pipeline
+// counters (bucket/scatter/candidate/walk times, speculative-walk conflict
+// counts). ok is false for communication models without a phase pipeline
+// (the well-mixed scheduler). Observability only — popbench's per-phase
+// throughput breakdown reads it; nothing feeds back into the simulation.
+func (s *Sim) MatchStats() (stats MatchPipelineStats, ok bool) {
+	if r, isSpatial := s.eng.Matcher().(match.PhaseReporter); isSpatial {
+		return r.PipelineStats(), true
+	}
+	return MatchPipelineStats{}, false
+}
 
 // Counters exposes the paper protocol's event counters (nil for baselines).
 func (s *Sim) Counters() *Counters {
