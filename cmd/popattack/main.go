@@ -44,6 +44,7 @@ func run(args []string) error {
 		patchX     = fs.Float64("patch-x", 0.5, "patch ball center X (spatial strategies)")
 		patchY     = fs.Float64("patch-y", 0.5, "patch ball center Y (2-D topologies)")
 		patchR     = fs.Float64("patch-r", 0.05, "patch ball radius (arc half-length on 1-D topologies)")
+		stats      = fs.Bool("stats", false, "print the per-phase round cost breakdown summed over the whole grid")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,16 +89,18 @@ func run(args []string) error {
 	if topology != popstab.Mixed {
 		names = append(names, popstab.SpatialAdversaryNames()...)
 	}
+	var grid popstab.RoundStats
 	for _, name := range names {
 		if name == "none" {
 			continue
 		}
 		fmt.Printf("%-18s", name)
 		for _, b := range budgets {
-			dev, violated, err := runCell(*n, *tinner, *seed, *epochs, name, b, topology, spec)
+			dev, violated, cellStats, err := runCell(*n, *tinner, *seed, *epochs, name, b, topology, spec)
 			if err != nil {
 				return err
 			}
+			grid = grid.Add(cellStats)
 			mark := " "
 			if violated {
 				mark = "!"
@@ -105,6 +108,9 @@ func run(args []string) error {
 			fmt.Printf("  %9.4f%s", dev, mark)
 		}
 		fmt.Println()
+	}
+	if *stats {
+		fmt.Println("\n# " + strings.ReplaceAll(grid.Breakdown(), "\n", "\n# "))
 	}
 	return nil
 }
@@ -123,18 +129,19 @@ func newAdversary(name string, p popstab.Params, spec popstab.PatchSpec) (popsta
 	return nil, fmt.Errorf("unknown adversary %q (available: %s)", name, strings.Join(all, ", "))
 }
 
-// runCell measures the worst relative displacement for one strategy/budget.
-func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, topology popstab.Topology, spec popstab.PatchSpec) (float64, bool, error) {
+// runCell measures the worst relative displacement for one strategy/budget,
+// returning the cell's engine phase counters for the grid-wide -stats sum.
+func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, topology popstab.Topology, spec popstab.PatchSpec) (float64, bool, popstab.RoundStats, error) {
 	cfg := popstab.Config{N: n, Tinner: tinner, Seed: seed, Topology: topology}
 	probe, err := popstab.New(cfg)
 	if err != nil {
-		return 0, false, err
+		return 0, false, popstab.RoundStats{}, err
 	}
 	params := probe.Params()
 	if budget > 0 {
 		adv, err := newAdversary(name, params, spec)
 		if err != nil {
-			return 0, false, err
+			return 0, false, popstab.RoundStats{}, err
 		}
 		cfg.Adversary = adv
 		cfg.K = 1
@@ -142,7 +149,7 @@ func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, to
 	}
 	s, err := popstab.New(cfg)
 	if err != nil {
-		return 0, false, err
+		return 0, false, popstab.RoundStats{}, err
 	}
 	lo := int(float64(params.N) * (1 - params.Alpha))
 	hi := int(float64(params.N) * (1 + params.Alpha))
@@ -163,5 +170,5 @@ func runCell(n, tinner int, seed uint64, epochs int, name string, budget int, to
 			violated = true
 		}
 	}
-	return worst, violated, nil
+	return worst, violated, s.RoundStats(), nil
 }

@@ -12,7 +12,7 @@ func testSpec() popstab.PatchSpec {
 }
 
 func TestRunCell(t *testing.T) {
-	dev, violated, err := runCell(4096, 24, 1, 2, "delete-random", 8, popstab.Mixed, popstab.PatchSpec{})
+	dev, violated, stats, err := runCell(4096, 24, 1, 2, "delete-random", 8, popstab.Mixed, popstab.PatchSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,22 +22,25 @@ func TestRunCell(t *testing.T) {
 	if violated {
 		t.Error("tiny budget violated the interval")
 	}
+	if stats.Rounds == 0 || stats.StepNS == 0 {
+		t.Errorf("cell round stats empty: %+v", stats)
+	}
 }
 
 func TestRunCellZeroBudget(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 0, popstab.Mixed, popstab.PatchSpec{}); err != nil {
+	if _, _, _, err := runCell(4096, 24, 1, 1, "greedy", 0, popstab.Mixed, popstab.PatchSpec{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCellTorus(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, popstab.Torus, testSpec()); err != nil {
+	if _, _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, popstab.Torus, testSpec()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCellBadStrategy(t *testing.T) {
-	if _, _, err := runCell(4096, 24, 1, 1, "bogus", 8, popstab.Mixed, popstab.PatchSpec{}); err == nil {
+	if _, _, _, err := runCell(4096, 24, 1, 1, "bogus", 8, popstab.Mixed, popstab.PatchSpec{}); err == nil {
 		t.Error("accepted unknown strategy")
 	}
 }
@@ -61,7 +64,7 @@ func TestRunRejectsBadBudgets(t *testing.T) {
 // gallery topologies.
 func TestRunCellGallery(t *testing.T) {
 	for _, topo := range []popstab.Topology{popstab.Grid, popstab.Ring, popstab.SmallWorld} {
-		if _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, topo, testSpec()); err != nil {
+		if _, _, _, err := runCell(4096, 24, 1, 1, "greedy", 8, topo, testSpec()); err != nil {
 			t.Fatalf("%v: %v", topo, err)
 		}
 	}
@@ -75,7 +78,7 @@ func TestRunCellPatchFamily(t *testing.T) {
 		if name == "rewire-deny" || name == "rewire-deny-all" {
 			topo = popstab.SmallWorld
 		}
-		if _, _, err := runCell(4096, 24, 1, 1, name, 8, topo, testSpec()); err != nil {
+		if _, _, _, err := runCell(4096, 24, 1, 1, name, 8, topo, testSpec()); err != nil {
 			t.Fatalf("%s on %v: %v", name, topo, err)
 		}
 	}

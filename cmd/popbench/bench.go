@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"popstab"
@@ -50,6 +51,11 @@ type jsonBenchmark struct {
 	CandNSPerRound    float64 `json:"cand_ns_per_round,omitempty"`
 	WalkNSPerRound    float64 `json:"walk_ns_per_round,omitempty"`
 	WalkConflictRate  float64 `json:"walk_conflict_rate,omitempty"`
+
+	// engineStats carries the engine's cumulative round-phase counters for
+	// the verbose console breakdown. Unexported on purpose: it stays out of
+	// the JSON document, whose schema the perf-tracking gate parses.
+	engineStats *popstab.RoundStats
 }
 
 // benchBudget is the minimum wall-clock spent per workload; every workload
@@ -81,6 +87,9 @@ func runThroughputBenchmarks(verbose bool) []jsonBenchmark {
 				fmt.Printf("      %-24s phases/round: bucket %s scatter %s cand %s walk %s  conflict %.4f\n",
 					"", fmtNS(b.BucketNSPerRound), fmtNS(b.ScatterNSPerRound),
 					fmtNS(b.CandNSPerRound), fmtNS(b.WalkNSPerRound), b.WalkConflictRate)
+			}
+			if b.engineStats != nil {
+				fmt.Printf("      %s\n", strings.ReplaceAll(b.engineStats.Breakdown(), "\n", "\n      "))
 			}
 		}
 	}
@@ -149,10 +158,13 @@ func benchRounds(name string, n int, topo popstab.Topology) (jsonBenchmark, erro
 		return b, err
 	}
 	defer s.Close()
-	return measure(b, func() int {
+	b = measure(b, func() int {
 		s.RunRound()
 		return s.Size()
-	}, s.MatchStats), nil
+	}, s.MatchStats)
+	rs := s.RoundStats()
+	b.engineStats = &rs
+	return b, nil
 }
 
 // benchTorusMatch times the sharded spatial matching phase alone — the

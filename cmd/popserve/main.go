@@ -33,6 +33,9 @@
 //	curl -N localhost:8080/v1/sessions/s-000001/stream
 //	curl -s localhost:8080/v1/readyz
 //	curl -s localhost:8080/v1/metrics
+//	curl -s localhost:8080/v1/metrics?format=prometheus
+//	curl -s -H 'X-Popstab-Trace: 0011223344556677' localhost:8080/v1/sessions -d '...'
+//	curl -s localhost:8080/v1/trace/0011223344556677
 //
 // Fleet:
 //
@@ -49,8 +52,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers registered on DefaultServeMux, exposed only behind -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -86,6 +91,7 @@ func run(args []string) error {
 		submitRate    = fs.Float64("submit-rate", 0, "admission gate: sustained submissions/sec (0: unlimited)")
 		submitBurst   = fs.Int("submit-burst", 0, "admission gate: burst allowance (0: rate rounded up)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget (drain + final checkpoints)")
+		pprofOn       = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the listen address")
 
 		coordinator   = fs.Bool("coordinator", false, "run as a fleet coordinator instead of a worker (routes to -join'ed popserves)")
 		routerName    = fs.String("router", "affinity", "coordinator routing policy: affinity, round-robin, or least-loaded")
@@ -98,6 +104,11 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Structured logs on stderr: the trace middleware's access lines carry
+	// trace=<id>, which is what log-based correlation (and the federation
+	// smoke test) greps for.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -120,10 +131,10 @@ func run(args []string) error {
 			SubmitRate:    *submitRate,
 			SubmitBurst:   *submitBurst,
 		})
-		srv := &http.Server{Handler: cluster.NewHandler(co), ReadHeaderTimeout: 10 * time.Second}
+		srv := &http.Server{Handler: withPprof(cluster.NewHandler(co), *pprofOn), ReadHeaderTimeout: 10 * time.Second}
 		errCh := make(chan error, 1)
 		go func() { errCh <- srv.Serve(ln) }()
-		log.Printf("popserve coordinating on %s (router %s, worker TTL %s)", ln.Addr(), router.Name(), *workerTTL)
+		log.Printf("popserve coordinating on %s (router %s, worker TTL %s, pprof %v)", ln.Addr(), router.Name(), *workerTTL, *pprofOn)
 		select {
 		case err := <-errCh:
 			co.Close()
@@ -173,11 +184,11 @@ func run(args []string) error {
 		}
 	}
 
-	srv := &http.Server{Handler: serve.NewHandler(m), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: withPprof(serve.NewHandler(m), *pprofOn), ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	log.Printf("popserve listening on %s (pool %d, quantum %d rounds, checkpoints %s)",
-		ln.Addr(), *maxConcurrent, *quantum, describeStore(*ckptDir))
+	log.Printf("popserve listening on %s (pool %d, quantum %d rounds, checkpoints %s, pprof %v)",
+		ln.Addr(), *maxConcurrent, *quantum, describeStore(*ckptDir), *pprofOn)
 
 	if *join != "" {
 		adv := *advertise
@@ -223,6 +234,18 @@ func run(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// withPprof exposes net/http/pprof's DefaultServeMux handlers under
+// /debug/pprof/ when enabled; the v1 API is untouched either way.
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	mux.Handle("/", h)
+	return mux
 }
 
 // deriveAdvertise turns the bound listener address into a dialable base

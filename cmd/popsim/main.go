@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"popstab"
 	"popstab/internal/trace"
@@ -52,6 +53,7 @@ func run(args []string) error {
 		csvPath  = fs.String("csv", "", "write a per-epoch CSV trace to this file")
 		listAdv  = fs.Bool("list-adv", false, "list adversary strategies and exit")
 		quietRun = fs.Bool("q", false, "suppress the per-epoch table")
+		stats    = fs.Bool("stats", false, "print the engine's per-phase round cost breakdown after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,6 +162,9 @@ func run(args []string) error {
 		st := s.RogueStats()
 		fmt.Printf("# rogue extension: honest=%d rogues=%d kills=%d rogueSplits=%d missedDetections=%d\n",
 			honest, rg, st.RogueKills, st.RogueSplits, st.FailedDetections)
+	}
+	if *stats {
+		fmt.Println("# " + strings.ReplaceAll(s.RoundStats().Breakdown(), "\n", "\n# "))
 	}
 
 	if *csvPath != "" {

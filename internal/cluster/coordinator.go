@@ -10,10 +10,10 @@ import (
 	"net/http"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"popstab"
+	"popstab/internal/obs"
 	"popstab/internal/serve"
 )
 
@@ -38,6 +38,10 @@ type Config struct {
 	// proxied calls carry the caller's context, control calls get bounded
 	// ones).
 	Client *http.Client
+	// Registry receives the coordinator's metrics (nil = a private one).
+	Registry *obs.Registry
+	// Tracer receives the coordinator's spans (nil = a private one).
+	Tracer *obs.Tracer
 }
 
 // worker is one registered popserve instance.
@@ -167,8 +171,9 @@ type Coordinator struct {
 	nextID     uint64
 	closed     bool
 
-	submissions, dedupeHits, throttled   atomic.Uint64
-	migrations, failovers, workerExpired atomic.Uint64
+	// coordObs carries the registry-backed counters under their historic
+	// names (c.submissions.Add(1) etc.) plus the tracer and gauge plumbing.
+	coordObs
 
 	sweepMu   sync.Mutex // serializes sweep passes
 	sweepStop chan struct{}
@@ -190,6 +195,12 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer("popcoord", 0, 0)
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		router:   cfg.Router,
@@ -199,7 +210,9 @@ func NewCoordinator(cfg Config) *Coordinator {
 		sessions: make(map[string]*session),
 		byKey:    make(map[string]*session),
 		byRemote: make(map[string]*session),
+		coordObs: newCoordObs(cfg.Registry, cfg.Tracer),
 	}
+	c.registerObs()
 	if cfg.SubmitRate > 0 {
 		c.gate = serve.NewTokenBucket(cfg.SubmitRate, cfg.SubmitBurst)
 	}
@@ -359,7 +372,10 @@ func (c *Coordinator) Submit(ctx context.Context, req serve.SubmitRequest) (serv
 	c.mu.Unlock()
 
 	// Route and forward, stepping to the next candidate when one is
-	// unreachable (its expiry is left to the heartbeat sweep).
+	// unreachable (its expiry is left to the heartbeat sweep). The whole
+	// decision — including forwards to workers that turned out dead — is one
+	// "route" span under the submission's trace.
+	endRoute := c.tracer.Start(obs.TraceID(ctx), "route")
 	var (
 		resp serve.SubmitResponse
 		wID  string
@@ -376,7 +392,7 @@ func (c *Coordinator) Submit(ctx context.Context, req serve.SubmitRequest) (serv
 			cands = append(cands[:i], cands[i+1:]...)
 			continue
 		}
-		err = c.doJSON(ctx, http.MethodPost, url+"/v1/sessions", req, &resp)
+		err = c.timedJSON(ctx, wID, http.MethodPost, url+"/v1/sessions", req, &resp)
 		if isUnreachable(err) {
 			c.markUnreachable(wID)
 			cands = append(cands[:i], cands[i+1:]...)
@@ -384,6 +400,7 @@ func (c *Coordinator) Submit(ctx context.Context, req serve.SubmitRequest) (serv
 		}
 		break
 	}
+	endRoute("worker", wID, "hash", hash)
 	if wID == "" {
 		return serve.SubmitResponse{}, errNoWorkers()
 	}
@@ -463,7 +480,7 @@ func (c *Coordinator) proxyInfo(ctx context.Context, id, method, path string, bo
 		return serve.JobInfo{}, err
 	}
 	var info serve.JobInfo
-	if err := c.doJSON(ctx, method, url+"/v1/sessions/"+rid+path, body, &info); err != nil {
+	if err := c.timedJSON(ctx, s.workerID, method, url+"/v1/sessions/"+rid+path, body, &info); err != nil {
 		c.noteProxyError(s, err)
 		return serve.JobInfo{}, err
 	}
@@ -532,7 +549,7 @@ func (c *Coordinator) Snapshot(ctx context.Context, id string) (serve.SnapshotRe
 		return serve.SnapshotResponse{}, err
 	}
 	var resp serve.SnapshotResponse
-	if err := c.doJSON(ctx, http.MethodGet, url+"/v1/sessions/"+rid+"/snapshot", nil, &resp); err != nil {
+	if err := c.timedJSON(ctx, s.workerID, http.MethodGet, url+"/v1/sessions/"+rid+"/snapshot", nil, &resp); err != nil {
 		c.noteProxyError(s, err)
 		return serve.SnapshotResponse{}, err
 	}
@@ -551,7 +568,7 @@ func (c *Coordinator) Wait(ctx context.Context, id, rawQuery string) (serve.Wait
 		target += "?" + rawQuery
 	}
 	var resp serve.WaitResponse
-	if err := c.doJSON(ctx, http.MethodGet, target, nil, &resp); err != nil {
+	if err := c.timedJSON(ctx, s.workerID, http.MethodGet, target, nil, &resp); err != nil {
 		c.noteProxyError(s, err)
 		return serve.WaitResponse{}, err
 	}
@@ -652,12 +669,12 @@ func (c *Coordinator) Metrics(ctx context.Context) FleetMetrics {
 		targets = append(targets, target{w.id, w.url})
 	}
 	coord := CoordinatorMetrics{
-		Submissions:    c.submissions.Load(),
-		DedupeHits:     c.dedupeHits.Load(),
-		Throttled:      c.throttled.Load(),
-		Migrations:     c.migrations.Load(),
-		Failovers:      c.failovers.Load(),
-		WorkersExpired: c.workerExpired.Load(),
+		Submissions:    c.submissions.Value(),
+		DedupeHits:     c.dedupeHits.Value(),
+		Throttled:      c.throttled.Value(),
+		Migrations:     c.migrations.Value(),
+		Failovers:      c.failovers.Value(),
+		WorkersExpired: c.workerExpired.Value(),
 		Sessions:       len(c.sessions),
 		Workers:        len(c.workers),
 	}
@@ -673,7 +690,7 @@ func (c *Coordinator) Metrics(ctx context.Context) FleetMetrics {
 			cctx, cancel := context.WithTimeout(ctx, 3*time.Second)
 			defer cancel()
 			var m serve.Metrics
-			if err := c.doJSON(cctx, http.MethodGet, t.url+"/v1/metrics", nil, &m); err != nil {
+			if err := c.timedJSON(cctx, t.id, http.MethodGet, t.url+"/v1/metrics", nil, &m); err != nil {
 				return
 			}
 			permu.Lock()
@@ -768,6 +785,11 @@ func (c *Coordinator) doJSON(ctx context.Context, method, url string, body, out 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace so the worker's spans and log lines land
+	// under the same ID the coordinator's edge minted (or adopted).
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"popstab/internal/obs"
 	"popstab/internal/serve"
 )
 
@@ -62,7 +63,23 @@ func NewHandler(c *Coordinator) http.Handler {
 		serve.WriteJSON(w, code, rd)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if serve.WantsPrometheus(r) {
+			serve.WritePrometheus(w, c.Registry())
+			return
+		}
 		serve.WriteJSON(w, http.StatusOK, c.Metrics(r.Context()))
+	})
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		tr := c.Trace(r.Context(), r.PathValue("id"))
+		if len(tr.Spans) == 0 {
+			serve.WriteError(w, &serve.APIError{
+				Status: http.StatusNotFound,
+				Code:   serve.CodeUnknownTrace,
+				Err:    fmt.Errorf("no spans recorded for trace %q", tr.Trace),
+			})
+			return
+		}
+		serve.WriteJSON(w, http.StatusOK, tr)
 	})
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req serve.SubmitRequest
@@ -132,7 +149,9 @@ func NewHandler(c *Coordinator) http.Handler {
 		}
 		serve.WriteJSON(w, http.StatusOK, resp)
 	})
-	return mux
+	// The trace middleware sits at the coordinator's edge: the ID it mints
+	// (or adopts) flows through r.Context() into every proxied worker call.
+	return obs.Middleware(c.Tracer(), nil, mux)
 }
 
 // writeInfo finishes a proxied info-returning op.

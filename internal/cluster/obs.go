@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"popstab/internal/obs"
+	"popstab/internal/serve"
+)
+
+// Coordinator observability (DESIGN.md §13). The coordinator keeps its own
+// registry — its counters ARE the registry's atomics, so the JSON
+// FleetMetrics view and the Prometheus exposition cannot drift — plus a
+// span store that stitches the fleet together: the trace ID minted (or
+// adopted) at the coordinator's HTTP edge rides the X-Popstab-Trace header
+// on every proxied worker call, and GET /v1/trace/{id} merges the
+// coordinator's route/proxy spans with whatever the workers recorded under
+// the same ID.
+
+// coordObs bundles the coordinator's registry-backed instruments.
+type coordObs struct {
+	registry *obs.Registry
+	tracer   *obs.Tracer
+
+	submissions, dedupeHits, throttled   *obs.Counter
+	migrations, failovers, workerExpired *obs.Counter
+
+	// workerLabels tracks the per-worker gauge label sets currently
+	// registered, so the collect hook can unregister departed workers.
+	gaugeMu      sync.Mutex
+	workerGauges map[string]struct{}
+}
+
+// perWorkerGauges are the gauge families maintained per live worker,
+// refreshed at scrape time by the OnCollect hook.
+var perWorkerGauges = []struct{ name, help string }{
+	{"popcoord_worker_heartbeat_lag_seconds", "Age of the worker's last heartbeat."},
+	{"popcoord_worker_sessions", "Coordinator sessions routed to the worker."},
+	{"popcoord_worker_slots_in_use", "Step-pool slots in use per the worker's last heartbeat."},
+	{"popcoord_worker_slots", "Step-pool capacity per the worker's last heartbeat."},
+	{"popcoord_worker_ready", "1 when the worker's last heartbeat reported ready."},
+}
+
+// newCoordObs registers the coordinator's instruments on reg.
+func newCoordObs(reg *obs.Registry, tracer *obs.Tracer) coordObs {
+	return coordObs{
+		registry:    reg,
+		tracer:      tracer,
+		submissions: reg.Counter("popcoord_submissions_total", "Submissions accepted at the coordinator."),
+		dedupeHits:  reg.Counter("popcoord_dedupe_hits_total", "Submissions answered from the fleet dedupe index."),
+		throttled:   reg.Counter("popcoord_throttled_total", "Submissions rejected by the fleet admission gate."),
+		migrations:  reg.Counter("popcoord_migrations_total", "Sessions moved live between workers."),
+		failovers:   reg.Counter("popcoord_failovers_total", "Sessions replayed after losing their worker."),
+		workerExpired: reg.Counter("popcoord_workers_expired_total",
+			"Workers expired after missing their heartbeat TTL."),
+		workerGauges: make(map[string]struct{}),
+	}
+}
+
+// registerObs wires the scrape-time views: fleet-size gauges and the
+// per-worker gauge refresh hook. Called once from NewCoordinator.
+func (c *Coordinator) registerObs() {
+	reg := c.registry
+	reg.GaugeFunc("popcoord_sessions", "Sessions in the coordinator's index.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.sessions))
+	})
+	reg.GaugeFunc("popcoord_workers", "Registered workers.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.workers))
+	})
+	reg.OnCollect(c.syncWorkerGauges)
+}
+
+// syncWorkerGauges refreshes the per-worker gauges from the live registry
+// and unregisters the label sets of departed workers — the gauge lifecycle
+// follows worker registration, not scrape history.
+func (c *Coordinator) syncWorkerGauges() {
+	now := time.Now()
+	type row struct {
+		id                     string
+		lag                    float64
+		sessions, inUse, slots float64
+		ready                  float64
+	}
+	c.mu.Lock()
+	rows := make([]row, 0, len(c.workers))
+	for _, w := range c.workers {
+		rd := 0.0
+		if w.ready.Ready {
+			rd = 1
+		}
+		rows = append(rows, row{
+			id:       w.id,
+			lag:      now.Sub(w.lastSeen).Seconds(),
+			sessions: float64(c.ownedLocked(w.id)),
+			inUse:    float64(w.ready.SlotsInUse),
+			slots:    float64(w.ready.Slots),
+			ready:    rd,
+		})
+	}
+	c.mu.Unlock()
+
+	c.gaugeMu.Lock()
+	defer c.gaugeMu.Unlock()
+	live := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		live[r.id] = struct{}{}
+		for i, v := range []float64{r.lag, r.sessions, r.inUse, r.slots, r.ready} {
+			g := perWorkerGauges[i]
+			c.registry.Gauge(g.name, g.help, "worker", r.id).Set(v)
+		}
+	}
+	for id := range c.workerGauges {
+		if _, ok := live[id]; !ok {
+			for _, g := range perWorkerGauges {
+				c.registry.Unregister(g.name, "worker", id)
+			}
+		}
+	}
+	c.workerGauges = live
+}
+
+// Registry exposes the coordinator's metrics registry.
+func (c *Coordinator) Registry() *obs.Registry { return c.registry }
+
+// Tracer exposes the coordinator's span store.
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
+
+// timedJSON is doJSON plus per-worker latency accounting and a "proxy" span
+// under the request's trace: every proxied call a client can correlate ends
+// up as one histogram observation and one span.
+func (c *Coordinator) timedJSON(ctx context.Context, workerID, method, url string, body, out any) error {
+	end := c.tracer.Start(obs.TraceID(ctx), "proxy")
+	t := time.Now()
+	err := c.doJSON(ctx, method, url, body, out)
+	c.registry.Histogram("popcoord_proxy_seconds",
+		"Latency of proxied worker calls.", obs.DefBuckets, "worker", workerID).
+		Observe(time.Since(t).Seconds())
+	if err != nil {
+		end("worker", workerID, "method", method, "error", err.Error())
+	} else {
+		end("worker", workerID, "method", method)
+	}
+	return err
+}
+
+// Trace resolves GET /v1/trace/{id} fleet-wide: the coordinator's own spans
+// for the ID merged with every live worker's, ordered by start time. Workers
+// that do not answer (or know nothing about the trace) contribute nothing.
+func (c *Coordinator) Trace(ctx context.Context, id string) serve.TraceResponse {
+	spans := c.tracer.Spans(id)
+
+	c.mu.Lock()
+	urls := make([]string, 0, len(c.workers))
+	for _, w := range c.workers {
+		urls = append(urls, w.url)
+	}
+	c.mu.Unlock()
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, url := range urls {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+			defer cancel()
+			var tr serve.TraceResponse
+			if err := c.doJSON(cctx, http.MethodGet, url+"/v1/trace/"+id, nil, &tr); err != nil {
+				return
+			}
+			mu.Lock()
+			spans = append(spans, tr.Spans...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.SliceStable(spans, func(i, k int) bool { return spans[i].Start.Before(spans[k].Start) })
+	return serve.TraceResponse{Trace: id, Spans: spans}
+}

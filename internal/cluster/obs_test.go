@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"popstab/internal/obs"
+	"popstab/internal/serve"
+)
+
+// TestTraceEndToEnd drives one submission through a coordinator HTTP server
+// backed by a real worker and checks the correlation story the federation
+// smoke asserts in CI: one trace ID covers the coordinator's http/route/proxy
+// spans AND the worker's http/build/run spans, all merged by the
+// coordinator's /v1/trace/{id}.
+func TestTraceEndToEnd(t *testing.T) {
+	c := NewCoordinator(Config{SweepInterval: -1})
+	defer c.Close()
+	newFleet(t, c, 1)
+	ts := httptest.NewServer(NewHandler(c))
+	defer ts.Close()
+
+	const trace = "0123456789abcdef"
+	body := strings.NewReader(`{"spec":{"n":4096,"tinner":24,"seed":71},"rounds":48}`)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sessions", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != trace {
+		t.Fatalf("trace header not echoed: %q", got)
+	}
+	var sub serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFleetDone(t, c, sub.ID)
+
+	resp, err = http.Get(ts.URL + "/v1/trace/" + trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace lookup status %d", resp.StatusCode)
+	}
+	var tr serve.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	byService := map[string]map[string]bool{}
+	for _, sp := range tr.Spans {
+		if sp.Trace != trace {
+			t.Fatalf("span %s/%s under trace %q", sp.Service, sp.Name, sp.Trace)
+		}
+		if byService[sp.Service] == nil {
+			byService[sp.Service] = map[string]bool{}
+		}
+		byService[sp.Service][sp.Name] = true
+	}
+	for _, want := range []string{"http", "route", "proxy"} {
+		if !byService["popcoord"][want] {
+			t.Fatalf("coordinator missing %q span; have %v", want, byService)
+		}
+	}
+	for _, want := range []string{"http", "build", "run"} {
+		if !byService["popserve"][want] {
+			t.Fatalf("worker missing %q span; have %v", want, byService)
+		}
+	}
+}
+
+// TestCoordinatorPrometheus checks the coordinator's exposition: its own
+// counters agree with the JSON view and the per-worker gauges appear (and
+// disappear with their worker).
+func TestCoordinatorPrometheus(t *testing.T) {
+	c := NewCoordinator(Config{SweepInterval: -1})
+	defer c.Close()
+	ws := newFleet(t, c, 2)
+	ts := httptest.NewServer(NewHandler(c))
+	defer ts.Close()
+
+	if _, err := c.Submit(context.Background(), serve.SubmitRequest{Spec: quickSpec(72), Rounds: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String()
+	}
+
+	body := scrape()
+	if !strings.Contains(body, "popcoord_submissions_total 1") {
+		t.Fatalf("submissions counter missing:\n%s", body)
+	}
+	if !strings.Contains(body, "popcoord_workers 2") {
+		t.Fatal("workers gauge wrong")
+	}
+	for _, w := range ws {
+		if !strings.Contains(body, `popcoord_worker_slots{worker="`+w.id+`"}`) {
+			t.Fatalf("per-worker gauge for %s missing", w.id)
+		}
+	}
+	if !strings.Contains(body, `popcoord_proxy_seconds_count{worker="`+ws[0].id+`"}`) &&
+		!strings.Contains(body, `popcoord_proxy_seconds_count{worker="`+ws[1].id+`"}`) {
+		t.Fatal("proxy latency histogram missing")
+	}
+
+	// Expire a worker: its gauges must leave the exposition after a sweep.
+	gone := ws[1]
+	c.markUnreachable(gone.id)
+	c.SweepNow()
+	body = scrape()
+	if strings.Contains(body, `popcoord_worker_slots{worker="`+gone.id+`"}`) {
+		t.Fatalf("departed worker %s still exposed", gone.id)
+	}
+
+	// JSON stays the default.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fm FleetMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&fm); err != nil {
+		t.Fatal(err)
+	}
+	if fm.Coordinator.Submissions != 1 {
+		t.Fatalf("JSON submissions %d, want 1", fm.Coordinator.Submissions)
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries the trace ID across the coordinator→worker proxy hop
+// (and lets clients supply their own). Propagation is header-only by design:
+// the /v1 wire types stay observability-free, so snapshots and stats remain
+// bit-identical with tracing on or off.
+const TraceHeader = "X-Popstab-Trace"
+
+// NewTraceID mints a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// recognizable constant rather than crash an observability path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is acceptable as an incoming trace ID:
+// 1–64 hex characters. Anything else (log-injection attempts, garbage) is
+// discarded and a fresh ID minted instead.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+type traceKey struct{}
+
+// WithTrace returns ctx carrying the trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID extracts the trace ID from ctx, or "" when none is attached.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// Span is one recorded operation within a trace.
+type Span struct {
+	Trace string `json:"trace"`
+	// Service names the process that recorded the span (e.g. "worker",
+	// "coordinator"), so merged fleet traces stay readable.
+	Service    string            `json:"service"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer is a bounded in-memory span store: spans keyed by trace ID, oldest
+// traces evicted FIFO, spans per trace capped so a long stream cannot grow a
+// trace without bound. All methods are safe on a nil *Tracer (no-ops), so
+// instrumented code never needs nil checks.
+type Tracer struct {
+	mu        sync.Mutex
+	service   string
+	traces    map[string][]Span
+	order     []string
+	maxTraces int
+	maxSpans  int
+}
+
+// NewTracer returns a tracer that keeps up to maxTraces traces of up to
+// maxSpans spans each; zero or negative arguments select defaults (256
+// traces × 256 spans).
+func NewTracer(service string, maxTraces, maxSpans int) *Tracer {
+	if maxTraces <= 0 {
+		maxTraces = 256
+	}
+	if maxSpans <= 0 {
+		maxSpans = 256
+	}
+	return &Tracer{
+		service:   service,
+		traces:    make(map[string][]Span),
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+	}
+}
+
+// Service reports the tracer's service name ("" on nil).
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// Record stores one finished span. Attrs are alternating key, value pairs.
+// No-op when t is nil or traceID is empty.
+func (t *Tracer) Record(traceID, name string, start time.Time, d time.Duration, attrs ...string) {
+	if t == nil || traceID == "" {
+		return
+	}
+	sp := Span{
+		Trace:      traceID,
+		Service:    t.service,
+		Name:       name,
+		Start:      start.UTC(),
+		DurationMS: float64(d.Nanoseconds()) / 1e6,
+	}
+	if len(attrs) >= 2 {
+		sp.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			sp.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans, known := t.traces[traceID]
+	if !known {
+		if len(t.order) >= t.maxTraces {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.traces, evict)
+		}
+		t.order = append(t.order, traceID)
+	}
+	if len(spans) < t.maxSpans {
+		t.traces[traceID] = append(spans, sp)
+	} else if !known {
+		t.traces[traceID] = spans
+	}
+}
+
+// Start begins a span and returns its finish function; call it (optionally
+// with alternating attr key, value pairs) to record the span. Safe on nil.
+func (t *Tracer) Start(traceID, name string) func(attrs ...string) {
+	if t == nil || traceID == "" {
+		return func(...string) {}
+	}
+	start := time.Now()
+	return func(attrs ...string) {
+		t.Record(traceID, name, start, time.Since(start), attrs...)
+	}
+}
+
+// Spans returns a copy of the spans recorded for traceID (nil when the
+// trace is unknown or t is nil).
+func (t *Tracer) Spans(traceID string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := t.traces[traceID]
+	if spans == nil {
+		return nil
+	}
+	return append([]Span(nil), spans...)
+}
+
+// Len reports the number of live traces (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// statusWriter captures the response status for the access log while
+// passing Flush through — SSE streaming must keep working under the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next with the observability plane's HTTP instrumentation:
+// extract (or mint) the trace ID from TraceHeader, attach it to the request
+// context and the response header, record an "http" span on t, and emit one
+// slog access-log line carrying the trace ID — the line the fleet smoke
+// greps to correlate coordinator and worker logs.
+func Middleware(t *Tracer, logger *slog.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(TraceHeader)
+		if !ValidTraceID(id) {
+			id = NewTraceID()
+		}
+		w.Header().Set(TraceHeader, id)
+		r = r.WithContext(WithTrace(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = r.Method + " " + r.URL.Path
+		}
+		t.Record(id, "http", start, elapsed,
+			"route", route, "status", http.StatusText(status))
+		logger.Info("http",
+			"trace", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"dur_ms", float64(elapsed.Nanoseconds())/1e6,
+		)
+	})
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDMintAndValidate(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatal("two minted IDs collided")
+	}
+	if !ValidTraceID(a) || len(a) != 16 {
+		t.Fatalf("minted ID %q invalid", a)
+	}
+	for _, bad := range []string{"", "xyz!", strings.Repeat("a", 65), "DEAD BEEF", "line\nbreak"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true", bad)
+		}
+	}
+	for _, good := range []string{"a", "DEADbeef01", strings.Repeat("f", 64)} {
+		if !ValidTraceID(good) {
+			t.Errorf("ValidTraceID(%q) = false", good)
+		}
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context must carry no trace")
+	}
+	ctx = WithTrace(ctx, "abc123")
+	if TraceID(ctx) != "abc123" {
+		t.Fatalf("TraceID = %q", TraceID(ctx))
+	}
+}
+
+func TestTracerRecordAndSpans(t *testing.T) {
+	tr := NewTracer("worker", 4, 8)
+	end := tr.Start("t1", "run")
+	end("session", "s-1")
+	tr.Record("t1", "snapshot", time.Now(), 3*time.Millisecond)
+	spans := tr.Spans("t1")
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "run" || spans[0].Service != "worker" || spans[0].Attrs["session"] != "s-1" {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+	if spans[1].DurationMS < 2.9 {
+		t.Fatalf("duration_ms = %v", spans[1].DurationMS)
+	}
+	if tr.Spans("missing") != nil {
+		t.Error("unknown trace must return nil")
+	}
+}
+
+func TestTracerBounds(t *testing.T) {
+	tr := NewTracer("x", 2, 3)
+	for i := 0; i < 5; i++ {
+		tr.Record(fmt.Sprintf("trace-%d", i), "op", time.Now(), time.Millisecond)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("live traces = %d, want 2 (FIFO eviction)", tr.Len())
+	}
+	if tr.Spans("trace-0") != nil || tr.Spans("trace-4") == nil {
+		t.Error("eviction must drop oldest traces first")
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record("trace-4", "op", time.Now(), time.Millisecond)
+	}
+	if got := len(tr.Spans("trace-4")); got != 3 {
+		t.Fatalf("spans capped at %d, want 3", got)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("t", "op", time.Now(), time.Second)
+	tr.Start("t", "op")("k", "v")
+	if tr.Spans("t") != nil || tr.Len() != 0 || tr.Service() != "" {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestMiddlewareMintsAndPropagates(t *testing.T) {
+	tr := NewTracer("svc", 16, 16)
+	var logs strings.Builder
+	logger := slog.New(slog.NewTextHandler(&logs, nil))
+	var seen string
+	h := Middleware(tr, logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceID(r.Context())
+	}))
+
+	// No incoming header: an ID is minted, echoed, and logged.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	echoed := rec.Header().Get(TraceHeader)
+	if echoed == "" || echoed != seen {
+		t.Fatalf("echoed %q, handler saw %q", echoed, seen)
+	}
+	if !strings.Contains(logs.String(), "trace="+echoed) {
+		t.Fatalf("access log missing trace ID:\n%s", logs.String())
+	}
+	if len(tr.Spans(echoed)) != 1 {
+		t.Fatalf("middleware span count = %d", len(tr.Spans(echoed)))
+	}
+
+	// Incoming valid header: preserved end to end.
+	req := httptest.NewRequest("POST", "/v1/sims", nil)
+	req.Header.Set(TraceHeader, "feedc0de12345678")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "feedc0de12345678" || rec.Header().Get(TraceHeader) != seen {
+		t.Fatalf("incoming trace not propagated: saw %q", seen)
+	}
+
+	// Invalid header: replaced with a fresh mint.
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(TraceHeader, "not hex!")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen == "not hex!" || !ValidTraceID(seen) {
+		t.Fatalf("invalid trace accepted: %q", seen)
+	}
+}

@@ -57,6 +57,9 @@ const (
 	CodeCapacity = "capacity"
 	// CodeUnknownResult: no result is stored under that spec hash. HTTP 404.
 	CodeUnknownResult = "unknown_result"
+	// CodeUnknownTrace: no spans are recorded under that trace ID (never
+	// seen, or evicted from the bounded span store). HTTP 404.
+	CodeUnknownTrace = "unknown_trace"
 	// CodeResultPending: the hash is known but its run has not completed.
 	// HTTP 409.
 	CodeResultPending = "result_pending"

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"popstab"
+	"popstab/internal/obs"
 )
 
 // HTTP surface of the manager — the worker half of the v1 contract (the
@@ -28,7 +30,8 @@ import (
 //	GET  /v1/results/{hash}                                                content-addressed result: completed run for a Spec.Hash
 //	GET  /v1/healthz                                                       liveness
 //	GET  /v1/readyz                                                        readiness: slot-pool saturation + admission-gate state; 503 while draining/saturated
-//	GET  /v1/metrics                                                       run/dedupe/failure/checkpoint counters
+//	GET  /v1/metrics                                                       run/dedupe/failure/checkpoint counters (JSON; ?format=prometheus for text exposition)
+//	GET  /v1/trace/{id}                                                    recorded spans for one trace ID
 //
 // Every non-2xx response carries the unified error envelope (see api.go);
 // unknown IDs are 404 unknown_session while IDs reaped after their TTL are
@@ -104,6 +107,34 @@ const (
 // tests can shorten it.
 var streamHeartbeat = 15 * time.Second
 
+// TraceResponse is the GET /v1/trace/{id} payload. The coordinator reuses it
+// when merging its own spans with the owning worker's.
+type TraceResponse struct {
+	Trace string     `json:"trace"`
+	Spans []obs.Span `json:"spans"`
+}
+
+// WantsPrometheus reports whether a metrics request asks for the text
+// exposition (?format=prometheus) instead of the legacy JSON counters. An
+// explicit format always wins; otherwise an Accept header naming text/plain
+// (what Prometheus scrapers send) selects the exposition.
+func WantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
+// WritePrometheus serves reg in Prometheus text exposition format 0.0.4.
+func WritePrometheus(w http.ResponseWriter, reg *obs.Registry) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = reg.WritePrometheus(w)
+}
+
 // NewHandler exposes m over HTTP.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
@@ -119,7 +150,24 @@ func NewHandler(m *Manager) http.Handler {
 		WriteJSON(w, code, rd)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if WantsPrometheus(r) {
+			WritePrometheus(w, m.Registry())
+			return
+		}
 		WriteJSON(w, http.StatusOK, m.Metrics())
+	})
+	mux.HandleFunc("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		spans := m.Tracer().Spans(id)
+		if len(spans) == 0 {
+			WriteError(w, &APIError{
+				Status: http.StatusNotFound,
+				Code:   CodeUnknownTrace,
+				Err:    fmt.Errorf("no spans recorded for trace %q", id),
+			})
+			return
+		}
+		WriteJSON(w, http.StatusOK, TraceResponse{Trace: id, Spans: spans})
 	})
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req SubmitRequest
@@ -212,7 +260,11 @@ func NewHandler(m *Manager) http.Handler {
 			Hash: hash, ID: j.ID(), Spec: spec, Info: j.Info(), Snapshot: blob,
 		})
 	})
-	return mux
+	// Every request flows through the trace middleware: an incoming
+	// X-Popstab-Trace is adopted (the coordinator sets it when proxying),
+	// otherwise a fresh ID is minted; either way the header is echoed, an
+	// "http" span is recorded, and the access log line carries trace=<id>.
+	return obs.Middleware(m.Tracer(), nil, mux)
 }
 
 // waitHandler is the long-poll: park the request on the job's condition
@@ -263,6 +315,15 @@ func withJob(m *Manager, fn func(*Job, http.ResponseWriter, *http.Request)) http
 	}
 }
 
+// StreamEvent is the SSE "stats" event payload: the session's cumulative
+// stats (flattened — field names are unchanged from when the event WAS a
+// bare SessionStats) plus the engine's cumulative round-phase cost counters
+// at the moment the event was written.
+type StreamEvent struct {
+	popstab.SessionStats
+	Phases popstab.RoundStats `json:"phases"`
+}
+
 // streamHandler serves the SSE stats feed: one "stats" event per completed
 // step quantum (lossy under backpressure), a "done" event at completion,
 // then the stream ends. While the feed is idle it emits heartbeat comment
@@ -290,7 +351,7 @@ func streamHandler(m *Manager, j *Job, w http.ResponseWriter, r *http.Request) {
 
 	// Initial event so the client has the current state immediately.
 	info := j.Info()
-	writeEvent(w, "stats", info.Stats)
+	writeEvent(w, "stats", StreamEvent{SessionStats: info.Stats, Phases: j.RoundStats()})
 	fl.Flush()
 	if info.Status == StatusDone || info.Status == StatusFailed {
 		writeEvent(w, "done", info)
@@ -334,7 +395,7 @@ func streamHandler(m *Manager, j *Job, w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			writeEvent(w, "stats", stats)
+			writeEvent(w, "stats", StreamEvent{SessionStats: stats, Phases: j.RoundStats()})
 			fl.Flush()
 			if info := j.Info(); info.Status == StatusDone || info.Status == StatusFailed {
 				writeEvent(w, "done", info)

@@ -69,6 +69,7 @@ import (
 
 	"popstab"
 	"popstab/internal/fault"
+	"popstab/internal/obs"
 )
 
 // Config parameterizes a Manager.
@@ -116,6 +117,15 @@ type Config struct {
 	// Faults is the failure-injection set production code consults
 	// (nil = never fires).
 	Faults *fault.Set
+
+	// Registry receives the manager's metrics (counters, gauges, latency
+	// and round-phase histograms); nil builds a private one. Share a
+	// registry to expose several components on one /v1/metrics page.
+	Registry *obs.Registry
+	// Tracer records request/session spans (nil builds a bounded default
+	// named "popserve"). The transport's trace middleware and the
+	// /v1/trace/{id} endpoint read it.
+	Tracer *obs.Tracer
 }
 
 // withDefaults resolves zero fields.
@@ -294,19 +304,26 @@ type Manager struct {
 	// janitorStop ends the GC goroutine (nil when no janitor runs).
 	janitorStop chan struct{}
 
-	submissions, simRuns, dedupeHits atomic.Uint64
-	completed, failed, panics        atomic.Uint64
-	throttled                        atomic.Uint64
-	checkpoints, ckptErrors          atomic.Uint64
-	recovered, hibernations          atomic.Uint64
-	revivals, reaps                  atomic.Uint64
-	active                           atomic.Int64
+	// obsPlane carries the registry-backed counters (named exactly as the
+	// atomic fields they replaced), latency histograms, and tracer; active
+	// stays a plain atomic because it is an up/down int the gauge function
+	// reads directly.
+	obsPlane
+	active atomic.Int64
 }
 
 // NewManager builds a manager with cfg's pool bounds and failure model.
 func NewManager(cfg Config) *Manager {
 	raw := cfg
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer("popserve", 0, 0)
+	}
 	m := &Manager{
 		cfg:        cfg,
 		slots:      make(chan struct{}, cfg.MaxConcurrent),
@@ -317,7 +334,9 @@ func NewManager(cfg Config) *Manager {
 		hibernated: make(map[string]bool),
 		reaped:     make(map[string]bool),
 		shutdownCh: make(chan struct{}),
+		obsPlane:   newObsPlane(reg, tracer),
 	}
+	m.registerGauges()
 	if cfg.SubmitRate > 0 {
 		m.gate = NewTokenBucket(cfg.SubmitRate, cfg.SubmitBurst)
 	}
@@ -340,6 +359,11 @@ type Job struct {
 	spec     popstab.Spec
 	key      string // dedupe key at registration; "" when never cached
 	restored bool   // built from a snapshot (restore, recovery, revival)
+	// trace is the submission's trace ID (extracted from the request
+	// context): the runner's build/run spans land under it, correlating
+	// server-side work with the submitting request across the fleet. Empty
+	// for recovered/revived jobs — their submitter is long gone.
+	trace string
 
 	// lastTouch (unix nanos) orders hibernation/reaping candidates without
 	// taking j.mu.
@@ -371,8 +395,12 @@ type Job struct {
 	sinceCkpt uint64
 	// countedDone suppresses double-counting Completed across revivals.
 	countedDone bool
-	subs        map[uint64]chan popstab.SessionStats
-	nextSub     uint64
+	// phase mirrors the session's cumulative RoundStats as of the last
+	// completed quantum: the SSE stream and RoundStats() read it without
+	// touching the session (which only the runner may drive).
+	phase   popstab.RoundStats
+	subs    map[uint64]chan popstab.SessionStats
+	nextSub uint64
 
 	// done is closed on the FIRST arrival at StatusDone (or StatusFailed)
 	// and stays closed: the completion signal batch clients wait on.
@@ -424,6 +452,7 @@ func (m *Manager) Submit(ctx context.Context, spec popstab.Spec, rounds uint64) 
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	defer func(t time.Time) { m.submitSeconds.Observe(time.Since(t).Seconds()) }(time.Now())
 	hash, err := spec.Hash()
 	if err != nil {
 		return nil, false, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
@@ -457,7 +486,7 @@ func (m *Manager) Submit(ctx context.Context, spec popstab.Spec, rounds uint64) 
 			m.throttled.Add(1)
 			return nil, false, &ThrottledError{RetryAfter: retry}
 		}
-		j := m.newJobLocked(spec, rounds, nil, key, false)
+		j := m.newJobLocked(spec, rounds, nil, key, false, obs.TraceID(ctx))
 		m.byKey[key] = j
 		m.mu.Unlock()
 		return j, false, nil
@@ -481,6 +510,7 @@ func (m *Manager) Restore(ctx context.Context, spec popstab.Spec, snapshot []byt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	defer func(t time.Time) { m.submitSeconds.Observe(time.Since(t).Seconds()) }(time.Now())
 	if len(snapshot) == 0 {
 		return nil, fmt.Errorf("%w: empty snapshot", ErrInvalidSpec)
 	}
@@ -496,12 +526,12 @@ func (m *Manager) Restore(ctx context.Context, spec popstab.Spec, snapshot []byt
 		m.throttled.Add(1)
 		return nil, &ThrottledError{RetryAfter: retry}
 	}
-	return m.newJobLocked(spec, rounds, snapshot, "", paused), nil
+	return m.newJobLocked(spec, rounds, snapshot, "", paused, obs.TraceID(ctx)), nil
 }
 
 // newJobLocked allocates, registers, and starts a job. Caller holds m.mu
 // and has verified capacity.
-func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte, key string, paused bool) *Job {
+func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte, key string, paused bool, trace string) *Job {
 	// Sessions inherit the manager's worker setting unless the spec pins
 	// its own; either way the trajectory is identical.
 	if spec.Workers == 0 {
@@ -514,6 +544,7 @@ func (m *Manager) newJobLocked(spec popstab.Spec, rounds uint64, snapshot []byte
 		spec:     spec,
 		key:      key,
 		restored: snapshot != nil,
+		trace:    trace,
 		snapshot: snapshot,
 		target:   rounds,
 		status:   StatusQueued,
@@ -609,19 +640,19 @@ func (m *Manager) Metrics() Metrics {
 	sessions := len(m.jobs)
 	m.mu.Unlock()
 	return Metrics{
-		Submissions:      m.submissions.Load(),
-		SimRuns:          m.simRuns.Load(),
-		DedupeHits:       m.dedupeHits.Load(),
-		Completed:        m.completed.Load(),
-		Failed:           m.failed.Load(),
-		Panics:           m.panics.Load(),
-		Throttled:        m.throttled.Load(),
-		Checkpoints:      m.checkpoints.Load(),
-		CheckpointErrors: m.ckptErrors.Load(),
-		Recovered:        m.recovered.Load(),
-		Hibernated:       m.hibernations.Load(),
-		Revived:          m.revivals.Load(),
-		Reaped:           m.reaps.Load(),
+		Submissions:      m.submissions.Value(),
+		SimRuns:          m.simRuns.Value(),
+		DedupeHits:       m.dedupeHits.Value(),
+		Completed:        m.completed.Value(),
+		Failed:           m.failed.Value(),
+		Panics:           m.panics.Value(),
+		Throttled:        m.throttled.Value(),
+		Checkpoints:      m.checkpoints.Value(),
+		CheckpointErrors: m.ckptErrors.Value(),
+		Recovered:        m.recovered.Value(),
+		Hibernated:       m.hibernations.Value(),
+		Revived:          m.revivals.Value(),
+		Reaped:           m.reaps.Value(),
 		Sessions:         sessions,
 		ActiveRunners:    int(m.active.Load()),
 	}
@@ -774,7 +805,13 @@ func (m *Manager) releaseSlot() {
 // step call).
 func (j *Job) run() {
 	defer j.m.runners.Done()
+	endBuild := j.m.tracer.Start(j.trace, "build")
 	sess, err := j.buildSession()
+	if err != nil {
+		endBuild("session", j.id, "error", err.Error())
+	} else {
+		endBuild("session", j.id)
+	}
 	j.mu.Lock()
 	if err != nil {
 		j.failLocked(err)
@@ -793,6 +830,7 @@ func (j *Job) run() {
 	j.m.simRuns.Add(1)
 	j.sess = sess
 	j.stats = sess.Stats()
+	j.phase = sess.RoundStats()
 	j.snapshot = nil // the restore source is consumed; don't hold the bytes
 	j.mu.Unlock()
 
@@ -849,10 +887,20 @@ func (j *Job) run() {
 		j.stepping = true
 		j.mu.Unlock()
 
+		endRun := j.m.tracer.Start(j.trace, "run")
+		tq := time.Now()
 		stats, err := j.step(sess, n) // recovers panics; releases nothing
+		j.m.stepSeconds.Observe(time.Since(tq).Seconds())
+		endRun("session", j.id, "rounds", strconv.FormatUint(n, 10))
+		// RoundStats is read on the runner goroutine (only it may touch the
+		// session) and mirrored under j.mu for SSE/API readers; the quantum
+		// delta feeds the per-phase histograms.
+		roundStats := sess.RoundStats()
 
 		j.mu.Lock()
 		j.stepping = false
+		phaseDelta := roundStats.Sub(j.phase)
+		j.phase = roundStats
 		if err != nil {
 			j.failLocked(err)
 			j.cond.Broadcast()
@@ -875,6 +923,7 @@ func (j *Job) run() {
 		j.cond.Broadcast()
 		j.mu.Unlock()
 		j.m.releaseSlot()
+		j.m.observePhases(phaseDelta)
 
 		if needCkpt {
 			j.checkpointNow()
@@ -938,13 +987,15 @@ func (j *Job) checkpointNow() {
 		return
 	}
 	cp := Checkpoint{
-		ID:       j.id,
-		Spec:     j.spec,
-		Target:   j.target,
-		Pending:  j.pending,
-		Paused:   j.paused,
-		Dedupe:   j.m.cachedLocked(j),
-		Snapshot: j.sess.Snapshot(),
+		ID:      j.id,
+		Spec:    j.spec,
+		Target:  j.target,
+		Pending: j.pending,
+		Paused:  j.paused,
+		Dedupe:  j.m.cachedLocked(j),
+		Snapshot: j.m.observeSnapshot(func() []byte {
+			return j.sess.Snapshot()
+		}),
 	}
 	j.sinceCkpt = 0
 	j.mu.Unlock()
@@ -1100,6 +1151,21 @@ func (j *Job) publishLocked(stats popstab.SessionStats) {
 
 // ID returns the job's registry ID.
 func (j *Job) ID() string { return j.id }
+
+// Trace returns the trace ID the job was submitted under ("" when the
+// submitter carried none, e.g. recovered jobs).
+func (j *Job) Trace() string { return j.trace }
+
+// RoundStats reports the session's cumulative per-phase cost counters as of
+// the last completed quantum. Kept outside JobInfo/SessionStats on purpose:
+// timings are host-local observability, while stats are deterministic
+// simulation content compared bit-for-bit across hosts by the failover
+// tests.
+func (j *Job) RoundStats() popstab.RoundStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.phase
+}
 
 // Done returns a channel closed when the job first completes or fails.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -1259,7 +1325,7 @@ func (j *Job) Snapshot(ctx context.Context) (popstab.Spec, []byte, error) {
 	if j.sess == nil {
 		return popstab.Spec{}, nil, errors.New("serve: session still initializing")
 	}
-	return j.spec, j.sess.Snapshot(), nil
+	return j.spec, j.m.observeSnapshot(func() []byte { return j.sess.Snapshot() }), nil
 }
 
 // Subscribe registers a stats feed with the given buffer (≥ 1) and returns

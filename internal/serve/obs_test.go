@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"popstab"
+	"popstab/internal/obs"
+)
+
+// promValue extracts the value of a single exposition sample line by exact
+// prefix match on "name" or "name{labels}".
+func promValue(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, sample+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, sample+" "), 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("sample %q not in exposition", sample)
+	return 0
+}
+
+// TestMetricsPrometheusMode checks that /v1/metrics serves the text
+// exposition on request, that it agrees with the legacy JSON view (they read
+// the same atomics), and that the JSON default is unchanged.
+func TestMetricsPrometheusMode(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 32})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	j, _, err := m.Submit(context.Background(), quickSpec(41), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	// JSON remains the default response.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jm Metrics
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jm); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jm.Submissions != 1 || jm.SimRuns != 1 {
+		t.Fatalf("JSON metrics %+v, want 1 submission / 1 run", jm)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus content type %q", ct)
+	}
+	body := readAll(t, resp)
+	if got := promValue(t, body, "popserve_submissions_total"); got != float64(jm.Submissions) {
+		t.Fatalf("exposition submissions %v, JSON %d", got, jm.Submissions)
+	}
+	if got := promValue(t, body, "popserve_completed_total"); got != float64(jm.Completed) {
+		t.Fatalf("exposition completed %v, JSON %d", got, jm.Completed)
+	}
+	if promValue(t, body, "popserve_step_quantum_seconds_count") == 0 {
+		t.Fatal("no step quantum observations after a completed run")
+	}
+	if promValue(t, body, "popserve_slots") != 2 {
+		t.Fatal("slot capacity gauge wrong")
+	}
+	// The per-phase histograms observed something for the always-on phases.
+	if promValue(t, body, `popserve_round_phase_seconds_count{phase="step"}`) == 0 {
+		t.Fatal("no step-phase observations")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestTraceSubmitToSpans drives a submission through HTTP with an explicit
+// trace ID and checks the full correlation story: the header is echoed, and
+// /v1/trace/{id} reports the http, build, and run spans under that one ID.
+func TestTraceSubmitToSpans(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 32})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	const trace = "feedfacecafe0001"
+	body := strings.NewReader(`{"spec":{"n":4096,"tinner":24,"seed":51},"rounds":64}`)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sessions", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != trace {
+		t.Fatalf("trace header not echoed: got %q", got)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	j, err := m.Lookup(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Trace() != trace {
+		t.Fatalf("job trace %q, want %q", j.Trace(), trace)
+	}
+	waitDone(t, j)
+
+	resp, err = http.Get(ts.URL + "/v1/trace/" + trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace lookup status %d", resp.StatusCode)
+	}
+	var tr TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Trace != trace {
+		t.Fatalf("trace id %q", tr.Trace)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+		if sp.Trace != trace {
+			t.Fatalf("span %q under trace %q", sp.Name, sp.Trace)
+		}
+	}
+	for _, want := range []string{"http", "build", "run"} {
+		if !names[want] {
+			t.Fatalf("missing %q span; have %v", want, names)
+		}
+	}
+}
+
+// TestTraceUnknown404 checks the unknown_trace error envelope.
+func TestTraceUnknown404(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/trace/deadbeef00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != CodeUnknownTrace {
+		t.Fatalf("code %q, want %q", eb.Error.Code, CodeUnknownTrace)
+	}
+}
+
+// TestStreamEventCarriesPhases reads the first SSE stats event and checks it
+// keeps the flat SessionStats fields while adding the phases object.
+func TestStreamEventCarriesPhases(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, StepQuantum: 32})
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	j, _, err := m.Submit(context.Background(), quickSpec(61), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + j.ID() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var data string
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+			break
+		}
+	}
+	if data == "" {
+		t.Fatalf("no stats event (scan err %v)", sc.Err())
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(data), &raw); err != nil {
+		t.Fatal(err)
+	}
+	// Old fields stay flat at the top level; phases is a sibling object.
+	for _, key := range []string{"round", "size", "in_interval", "phases"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("stats event missing %q: %s", key, data)
+		}
+	}
+	var phases popstab.RoundStats
+	if err := json.Unmarshal(raw["phases"], &phases); err != nil {
+		t.Fatal(err)
+	}
+	if phases.Rounds != 64 {
+		t.Fatalf("phases.Rounds = %d, want 64", phases.Rounds)
+	}
+}

@@ -20,6 +20,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"popstab/internal/adversary"
 	"popstab/internal/match"
@@ -101,6 +102,14 @@ func (e *Engine) programCodec() StateCodec {
 // platform-independent; Restore reinstates them into an engine built from
 // the same configuration.
 func (e *Engine) Snapshot() []byte {
+	// Timing only — RoundStats stays out of the snapshot bytes, so
+	// observability never perturbs the §8 determinism contract (a restored
+	// engine restarts its accounting at zero).
+	t := time.Now()
+	defer func() {
+		e.stats.SnapshotNS += sinceNS(t)
+		e.stats.Snapshots++
+	}()
 	enc := wire.NewEnc()
 
 	matcherState, _ := e.matcher.(match.Stateful)

@@ -56,6 +56,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/metrics"
+	"time"
 
 	"popstab/internal/adversary"
 	"popstab/internal/agent"
@@ -245,6 +247,16 @@ type Engine struct {
 	killCounts []int
 
 	round uint64
+
+	// stats accumulates the per-phase cost counters (roundstats.go).
+	// composeNS is the aux-goroutine scratch for the overlapped compose
+	// phase: written inside the pool.Go closure, folded into stats after
+	// wait() — the pool barrier is the happens-before edge. allocSamples
+	// and allocBase back the per-round heap-allocation deltas.
+	stats        RoundStats
+	composeNS    uint64
+	allocSamples [2]metrics.Sample
+	allocBase    [2]uint64
 }
 
 // NewFromPopulation builds an engine over an existing population, taking
@@ -372,6 +384,7 @@ func buildEngine(cfg Config, pop *population.Population) (*Engine, error) {
 	e.space, _ = matcher.(match.Space)
 	e.preb, _ = matcher.(match.Prebucketer)
 	adversary.BindMatcherTo(e.adv, matcher)
+	e.initAllocSamples()
 	return e, nil
 }
 
@@ -475,6 +488,7 @@ func (e *Engine) RunRound() RoundReport {
 	}
 
 	rep := RoundReport{Round: e.round, SizeBefore: e.pop.Len()}
+	e.accumAllocs(false)
 
 	// 1. Adversary turn (default timing: before the matching is sampled).
 	// When the matcher can prebucket, its bucketing phase — a pure function
@@ -487,6 +501,7 @@ func (e *Engine) RunRound() RoundReport {
 	// prebucket inline first — same reads, same writes, so output is
 	// bit-identical either way (DESIGN.md §12).
 	if !e.cfg.AdversaryAfterStep {
+		t := time.Now()
 		if e.cfg.K > 0 && e.preb != nil {
 			wait := e.pool.Go(func() { e.preb.PreBucket(e.pop.Len()) })
 			budget := e.stageAdversary()
@@ -497,6 +512,7 @@ func (e *Engine) RunRound() RoundReport {
 		} else {
 			e.adversaryTurn(&rep)
 		}
+		e.stats.AdversaryNS += sinceNS(t)
 	}
 
 	n := e.pop.Len()
@@ -509,19 +525,29 @@ func (e *Engine) RunRound() RoundReport {
 	// matcher's own scratch. On a pool of one the overlap degrades to running
 	// compose inline first — same reads, same writes, same (absence of)
 	// randomness, so output is bit-identical either way (DESIGN.md §10).
-	wait := e.pool.Go(func() { e.composePhase(n) })
+	wait := e.pool.Go(func() {
+		t := time.Now()
+		e.composePhase(n)
+		e.composeNS = sinceNS(t)
+	})
+	tm := time.Now()
 	e.matcher.SampleMatch(e.pop, e.schedSrc, &e.pairing)
+	e.stats.MatchNS += sinceNS(tm)
 	wait()
+	e.stats.ComposeNS += e.composeNS
 
 	// 5. Deliver and step — sharded across the worker pool when the
 	// population is large enough to pay for it.
+	ts := time.Now()
 	e.stepPhase(n)
+	e.stats.StepNS += sinceNS(ts)
 
 	// 6. Apply fates. Neighbor-kills override the victim's own action (the
 	// victim is removed before it can divide). The fold shards: each shard
 	// folds a disjoint range of the mask into the action array and tallies
 	// its kills, and the (tiny) per-shard tallies sum serially.
 	if e.xproto != nil {
+		tk := time.Now()
 		w := e.pool.Shards(n, minShardAgents)
 		if cap(e.killCounts) < w {
 			e.killCounts = make([]int, w)
@@ -540,16 +566,26 @@ func (e *Engine) RunRound() RoundReport {
 		for _, c := range counts {
 			rep.Kills += c
 		}
+		e.stats.KillFoldNS += sinceNS(tk)
 	}
+	ta := time.Now()
 	rep.Births, rep.Deaths = e.pop.Apply(e.actions)
+	e.stats.ApplyNS += sinceNS(ta)
 
 	// Ablation timing: adversary acts after the protocol step.
 	if e.cfg.AdversaryAfterStep {
+		t := time.Now()
 		e.adversaryTurn(&rep)
+		e.stats.AdversaryNS += sinceNS(t)
 	}
 
 	rep.SizeAfter = e.pop.Len()
 	e.round++
+	e.stats.Rounds++
+	e.stats.Births += uint64(rep.Births)
+	e.stats.Deaths += uint64(rep.Deaths)
+	e.stats.NetGrowth += int64(rep.SizeAfter - rep.SizeBefore)
+	e.accumAllocs(true)
 	return rep
 }
 

@@ -84,6 +84,13 @@ type (
 	// MatchPipelineStats are the spatial matching pipeline's cumulative
 	// per-phase counters (see Sim.MatchStats).
 	MatchPipelineStats = match.PipelineStats
+	// RoundStats are the engine's cumulative per-phase cost counters —
+	// every round phase, not just the matching pipeline (see
+	// Sim.RoundStats and DESIGN.md §13).
+	RoundStats = sim.RoundStats
+	// PhaseCost is one named phase's cumulative wall-clock cost within a
+	// RoundStats.
+	PhaseCost = sim.PhaseCost
 )
 
 // PatchSpec parameterizes the spatial patch-attack family: one ball of the
@@ -532,6 +539,14 @@ func (s *Sim) MatchStats() (stats MatchPipelineStats, ok bool) {
 	}
 	return MatchPipelineStats{}, false
 }
+
+// RoundStats reports the engine's cumulative per-phase cost counters
+// (adversary, compose, match, step, kill-fold, apply, snapshot — plus
+// per-round allocation and population deltas). Observability only, for
+// every matcher and program: the counters never feed back into the
+// simulation and are excluded from snapshots. popsim's -stats flag and the
+// serve layer's phase histograms read them.
+func (s *Sim) RoundStats() RoundStats { return s.eng.RoundStats() }
 
 // Counters exposes the paper protocol's event counters (nil for baselines).
 func (s *Sim) Counters() *Counters {

@@ -95,6 +95,13 @@ func (s *Session) StepEpoch() SessionStats {
 // Stats returns the cumulative stats without advancing.
 func (s *Session) Stats() SessionStats { return s.cum }
 
+// RoundStats reports the engine's cumulative per-phase cost counters (see
+// Sim.RoundStats). Deliberately NOT part of SessionStats or the session
+// snapshot: timings are host-local observability, while stats and snapshots
+// are deterministic simulation content compared bit-for-bit across hosts by
+// the federation failover tests.
+func (s *Session) RoundStats() RoundStats { return s.sim.RoundStats() }
+
 // Close releases the session's worker-pool goroutines (see Sim.Close). The
 // session stays usable; idempotent. The job server closes sessions it
 // hibernates or garbage-collects so parked pool goroutines don't outlive
